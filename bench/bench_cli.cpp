@@ -1,0 +1,93 @@
+// Paper-artifact-compatible CLI (Appendix A.5 of the paper):
+//
+//     ./bench_cli <mode> <seconds> <keyrange> <runs> <read%> <ins%> <del%>
+//                 <SCHEME> <threads>
+//
+// e.g.   ./bench_cli listlf 2 512 1 50 25 25 EBR 4
+//
+// Modes: listlf  — Harris list with SCOT, lock-free traversals
+//        listwf  — Harris list with SCOT, wait-free traversals
+//        listhm  — Harris-Michael list (baseline)
+//        tree    — Natarajan-Mittal tree with SCOT
+//        hash    — hash map over SCOT lists
+// Schemes: NR EBR HP HPopt HE IBR HLN
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bench/options.hpp"
+#include "bench/runner.hpp"
+
+using namespace scot::bench;
+
+static void usage(const char* argv0, int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage: %s <listlf|listwf|listhm|tree|hash> <seconds> <keyrange> "
+      "<runs> <read%%> <ins%%> <del%%> <NR|EBR|HP|HPopt|HE|IBR|HLN> "
+      "<threads>\n"
+      "e.g.:  %s listlf 2 512 1 50 25 25 EBR 4\n",
+      argv0, argv0);
+  std::exit(code);
+}
+
+static void usage(const char* argv0) { usage(argv0, 2); }
+
+int main(int argc, char** argv) {
+  if (argc == 1) usage(argv[0], 0);  // bare run: self-document, succeed
+  if (argc != 10) usage(argv[0]);
+  CaseConfig cfg;
+
+  if (!std::strcmp(argv[1], "listlf")) {
+    cfg.structure = StructureId::kHList;
+  } else if (!std::strcmp(argv[1], "listwf")) {
+    cfg.structure = StructureId::kHListWF;
+  } else if (!std::strcmp(argv[1], "listhm")) {
+    cfg.structure = StructureId::kHMList;
+  } else if (!std::strcmp(argv[1], "tree")) {
+    cfg.structure = StructureId::kNMTree;
+  } else if (!std::strcmp(argv[1], "hash")) {
+    cfg.structure = StructureId::kHashMap;
+  } else {
+    usage(argv[0]);
+  }
+
+  cfg.millis = std::atoi(argv[2]) * 1000;
+  cfg.key_range = std::strtoull(argv[3], nullptr, 10);
+  cfg.runs = static_cast<unsigned>(std::atoi(argv[4]));
+  cfg.read_pct = std::atoi(argv[5]);
+  cfg.insert_pct = std::atoi(argv[6]);
+  cfg.delete_pct = std::atoi(argv[7]);
+
+  bool found = false;
+  for (SchemeId s : kAllSchemes) {
+    if (!std::strcmp(argv[8], scheme_name(s))) {
+      cfg.scheme = s;
+      found = true;
+    }
+  }
+  if (!found) usage(argv[0]);
+  cfg.threads = static_cast<unsigned>(std::atoi(argv[9]));
+  cfg.sample_memory = true;
+
+  if (cfg.millis <= 0 || cfg.key_range == 0 || cfg.runs == 0 ||
+      cfg.threads == 0 ||
+      cfg.read_pct + cfg.insert_pct + cfg.delete_pct != 100) {
+    usage(argv[0]);
+  }
+
+  const CaseResult r = run_case(cfg);
+  std::printf("structure=%s scheme=%s threads=%u range=%llu mix=%d/%d/%d\n",
+              structure_name(cfg.structure), scheme_name(cfg.scheme),
+              cfg.threads, static_cast<unsigned long long>(cfg.key_range),
+              cfg.read_pct, cfg.insert_pct, cfg.delete_pct);
+  std::printf("ops=%llu seconds=%.3f throughput=%.3f Mops/s\n",
+              static_cast<unsigned long long>(r.total_ops), r.seconds,
+              r.mops);
+  std::printf("avg_unreclaimed=%.0f peak_unreclaimed=%lld restarts=%llu "
+              "recoveries=%llu\n",
+              r.avg_pending, static_cast<long long>(r.peak_pending),
+              static_cast<unsigned long long>(r.restarts),
+              static_cast<unsigned long long>(r.recoveries));
+  return 0;
+}

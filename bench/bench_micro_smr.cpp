@@ -1,0 +1,94 @@
+// Microbenchmarks of the SMR primitives (google-benchmark): the per-call
+// cost of protect / dup / begin+end / alloc+retire for every scheme.  These
+// expose the mechanism behind the figure-level results: HP pays a fence per
+// protect, HE amortizes it per era change, IBR/Hyaline make dup free, and
+// HPopt's snapshot scan beats HP's per-node rescan on retire-heavy loads.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "core/core.hpp"
+
+namespace {
+
+using namespace scot;
+
+struct ProbeNode : ReclaimNode {
+  std::uint64_t payload = 0;
+};
+
+template <class Smr>
+void BM_Protect(benchmark::State& state) {
+  SmrConfig cfg;
+  cfg.max_threads = 2;
+  Smr smr(cfg);
+  auto& h = smr.handle(0);
+  auto* n = h.template alloc<ProbeNode>();
+  std::atomic<ReclaimNode*> src{n};
+  h.begin_op();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.protect(src, 0));
+  }
+  h.end_op();
+  h.dealloc_unpublished(n);
+}
+
+template <class Smr>
+void BM_Dup(benchmark::State& state) {
+  SmrConfig cfg;
+  cfg.max_threads = 2;
+  Smr smr(cfg);
+  auto& h = smr.handle(0);
+  auto* n = h.template alloc<ProbeNode>();
+  std::atomic<ReclaimNode*> src{n};
+  h.begin_op();
+  (void)h.protect(src, 0);
+  for (auto _ : state) {
+    h.dup(0, 1);
+  }
+  h.end_op();
+  h.dealloc_unpublished(n);
+}
+
+template <class Smr>
+void BM_BeginEndOp(benchmark::State& state) {
+  SmrConfig cfg;
+  cfg.max_threads = 2;
+  Smr smr(cfg);
+  auto& h = smr.handle(0);
+  for (auto _ : state) {
+    h.begin_op();
+    h.end_op();
+  }
+}
+
+template <class Smr>
+void BM_AllocRetire(benchmark::State& state) {
+  SmrConfig cfg;
+  cfg.max_threads = 2;
+  cfg.scan_threshold = 128;  // paper calibration
+  Smr smr(cfg);
+  auto& h = smr.handle(0);
+  for (auto _ : state) {
+    auto* n = h.template alloc<ProbeNode>();
+    h.retire(n);
+  }
+}
+
+#define SCOT_REGISTER_SCHEME(scheme)                      \
+  BENCHMARK(BM_Protect<scheme>)->Name("protect/" #scheme); \
+  BENCHMARK(BM_Dup<scheme>)->Name("dup/" #scheme);         \
+  BENCHMARK(BM_BeginEndOp<scheme>)->Name("op/" #scheme);   \
+  BENCHMARK(BM_AllocRetire<scheme>)->Name("alloc_retire/" #scheme)
+
+SCOT_REGISTER_SCHEME(NoReclaimDomain);
+SCOT_REGISTER_SCHEME(EbrDomain);
+SCOT_REGISTER_SCHEME(HpDomain);
+SCOT_REGISTER_SCHEME(HpOptDomain);
+SCOT_REGISTER_SCHEME(HeDomain);
+SCOT_REGISTER_SCHEME(IbrDomain);
+SCOT_REGISTER_SCHEME(HyalineDomain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+// Shared scaffolding for the figure-reproduction binaries: one table per
+// (structure, key range), rows = thread counts, columns = SMR schemes —
+// the same series the paper plots.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/options.hpp"
+#include "bench/runner.hpp"
+#include "bench/table.hpp"
+
+namespace scot::bench {
+
+enum class Metric { kThroughputMops, kAvgPending };
+
+struct GridSpec {
+  const char* title;
+  StructureId structure;
+  std::uint64_t key_range;
+  Metric metric = Metric::kThroughputMops;
+  int read_pct = 50;  // paper headline mix: 50r / 25i / 25d
+  int insert_pct = 25;
+  int delete_pct = 25;
+  bool include_nr = true;  // the paper's memory figures omit NR
+};
+
+inline void run_grid(const GridSpec& spec, int def_ms) {
+  const auto threads = env_threads();
+  const int ms = env_ms(def_ms);
+  const unsigned runs = env_runs();
+
+  std::printf("== %s ==\n", spec.title);
+  std::printf("   structure=%s range=%llu mix=%d/%d/%d ms=%d runs=%u\n",
+              structure_name(spec.structure),
+              static_cast<unsigned long long>(spec.key_range), spec.read_pct,
+              spec.insert_pct, spec.delete_pct, ms, runs);
+
+  std::vector<std::string> header{"threads"};
+  std::vector<SchemeId> schemes;
+  for (SchemeId s : kAllSchemes) {
+    if (!spec.include_nr && s == SchemeId::kNR) continue;
+    schemes.push_back(s);
+    header.push_back(scheme_name(s));
+  }
+  Table t(std::move(header));
+  for (unsigned th : threads) {
+    std::vector<std::string> row{std::to_string(th)};
+    for (SchemeId s : schemes) {
+      CaseConfig cfg;
+      cfg.structure = spec.structure;
+      cfg.scheme = s;
+      cfg.threads = th;
+      cfg.key_range = spec.key_range;
+      cfg.read_pct = spec.read_pct;
+      cfg.insert_pct = spec.insert_pct;
+      cfg.delete_pct = spec.delete_pct;
+      cfg.millis = ms;
+      cfg.runs = runs;
+      cfg.sample_memory = spec.metric == Metric::kAvgPending;
+      const CaseResult r = run_case(cfg);
+      row.push_back(spec.metric == Metric::kThroughputMops
+                        ? format_double(r.mops, 2)
+                        : format_double(r.avg_pending, 0));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print();
+  std::printf("%s\n", spec.metric == Metric::kThroughputMops
+                          ? "   (Mops/s; higher is better)"
+                          : "   (avg not-yet-reclaimed nodes; lower is "
+                            "better; HLN reported via the domain-wide gauge)");
+  std::printf("\n");
+}
+
+}  // namespace scot::bench

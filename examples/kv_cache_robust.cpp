@@ -1,0 +1,83 @@
+// kv_cache_robust: a concurrent key-value cache on the SCOT hash map,
+// demonstrating why robustness matters for long-running services.
+//
+// Scenario (the paper's motivation, §1): a cache shard serves get/put/evict
+// from many threads.  One worker gets stuck — page fault storm, FUSE stall,
+// debugger, unlucky preemption — in the middle of a lookup.  With EBR the
+// stuck reader freezes the global epoch and evicted entries pile up without
+// bound; with a robust scheme (here: Hyaline-1S) memory stays bounded and
+// the service keeps running.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/core.hpp"
+
+using namespace scot;
+
+template <class Smr>
+long long run_shard(const char* label, int stalled_ms) {
+  SmrConfig cfg;
+  cfg.max_threads = 4;
+  Smr smr(cfg);
+  HashMap<std::uint64_t, std::uint64_t, Smr> cache(smr, /*buckets=*/256);
+
+  // Warm the cache.
+  auto& h0 = smr.handle(0);
+  for (std::uint64_t k = 0; k < 2048; ++k) cache.insert(h0, k, k * k);
+
+  std::atomic<bool> stop{false};
+  std::atomic<long long> peak{0};
+
+  // Thread 3 is the victim: it opens an operation and stalls inside it.
+  std::thread victim([&] {
+    auto& h = smr.handle(3);
+    h.begin_op();  // stuck mid-lookup...
+    std::this_thread::sleep_for(std::chrono::milliseconds(stalled_ms));
+    h.end_op();  // ...finally rescheduled
+  });
+
+  // Threads 1-2 keep serving puts/evictions (maximum reclamation pressure).
+  std::vector<std::thread> workers;
+  for (unsigned t = 1; t <= 2; ++t) {
+    workers.emplace_back([&, t] {
+      auto& h = smr.handle(t);
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t k = (i * 2654435761u) % 2048;
+        cache.erase(h, k);        // evict
+        cache.insert(h, k, i);    // refill
+        if ((i & 255) == 0) {
+          long long p = smr.pending_nodes();
+          long long cur = peak.load();
+          while (p > cur && !peak.compare_exchange_weak(cur, p)) {
+          }
+        }
+        ++i;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(stalled_ms + 100));
+  stop.store(true);
+  for (auto& w : workers) w.join();
+  victim.join();
+
+  std::printf("  %-28s peak unreclaimed entries: %lld\n", label, peak.load());
+  return peak.load();
+}
+
+int main() {
+  std::printf("KV cache with a worker stalled mid-operation for 400 ms:\n\n");
+  const long long ebr = run_shard<EbrDomain>("EBR (epoch-based):", 400);
+  const long long hln = run_shard<HyalineDomain>("Hyaline-1S (robust):", 400);
+  const long long hp = run_shard<HpDomain>("Hazard pointers (robust):", 400);
+  std::printf(
+      "\nEBR let garbage grow ~%lldx beyond the robust schemes — on a real\n"
+      "shard that is an OOM kill; SCOT makes the robust schemes usable with\n"
+      "the fast optimistic-traversal structures.\n",
+      hln + hp > 0 ? ebr / ((hln + hp) / 2 + 1) : 0);
+  return 0;
+}

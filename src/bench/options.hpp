@@ -1,0 +1,116 @@
+// Benchmark-harness configuration shared by every figure/table binary.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scot::bench {
+
+enum class SchemeId { kNR, kEBR, kHP, kHPopt, kHE, kIBR, kHLN };
+enum class StructureId {
+  kHMList,
+  kHList,
+  kHListWF,
+  kNMTree,
+  kHashMap,
+  kSkipList,       // Fraser-style optimistic traversal with SCOT
+  kSkipListEager,  // Herlihy-Shavit-style eager unlink (baseline)
+};
+
+inline constexpr SchemeId kAllSchemes[] = {
+    SchemeId::kNR, SchemeId::kEBR, SchemeId::kHP,  SchemeId::kHPopt,
+    SchemeId::kHE, SchemeId::kIBR, SchemeId::kHLN};
+
+inline const char* scheme_name(SchemeId s) {
+  switch (s) {
+    case SchemeId::kNR: return "NR";
+    case SchemeId::kEBR: return "EBR";
+    case SchemeId::kHP: return "HP";
+    case SchemeId::kHPopt: return "HPopt";
+    case SchemeId::kHE: return "HE";
+    case SchemeId::kIBR: return "IBR";
+    case SchemeId::kHLN: return "HLN";
+  }
+  return "?";
+}
+
+inline const char* structure_name(StructureId s) {
+  switch (s) {
+    case StructureId::kHMList: return "HMList";
+    case StructureId::kHList: return "HList";
+    case StructureId::kHListWF: return "HListWF";
+    case StructureId::kNMTree: return "NMTree";
+    case StructureId::kHashMap: return "HashMap";
+    case StructureId::kSkipList: return "SkipList";
+    case StructureId::kSkipListEager: return "SkipListHS";
+  }
+  return "?";
+}
+
+struct CaseConfig {
+  StructureId structure = StructureId::kHList;
+  SchemeId scheme = SchemeId::kEBR;
+  unsigned threads = 1;
+  std::uint64_t key_range = 512;
+  int read_pct = 50;    // remainder split between insert and delete
+  int insert_pct = 25;
+  int delete_pct = 25;
+  int millis = 300;
+  bool sample_memory = false;
+  unsigned runs = 1;  // median-of-runs (the paper uses 5)
+  std::uint64_t seed = 42;
+  std::size_t hash_buckets = 0;  // HashMap only; 0 = key_range / 8
+};
+
+struct CaseResult {
+  double mops = 0;  // million operations per second (median run)
+  std::uint64_t total_ops = 0;
+  double seconds = 0;
+  double avg_pending = 0;  // mean not-yet-reclaimed nodes over samples
+  std::int64_t peak_pending = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t recoveries = 0;
+};
+
+// --- environment knobs so the figure binaries scale to the host -----------
+// SCOT_BENCH_MS        per-cell duration in milliseconds (default `def_ms`)
+// SCOT_BENCH_THREADS   comma list of thread counts (default "1,2,4,8")
+// SCOT_BENCH_RUNS      runs per cell, median reported (default 1)
+
+inline int env_ms(int def_ms) {
+  if (const char* e = std::getenv("SCOT_BENCH_MS")) return std::atoi(e);
+  return def_ms;
+}
+
+inline unsigned env_runs() {
+  if (const char* e = std::getenv("SCOT_BENCH_RUNS")) {
+    const int v = std::atoi(e);
+    if (v > 0) return static_cast<unsigned>(v);
+  }
+  return 1;
+}
+
+inline std::vector<unsigned> env_threads() {
+  std::vector<unsigned> out;
+  std::string spec = "1,2,4,8";
+  if (const char* e = std::getenv("SCOT_BENCH_THREADS")) spec = e;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty()) {
+      const long v = std::strtol(tok.c_str(), nullptr, 10);
+      if (v > 0) out.push_back(static_cast<unsigned>(v));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  if (out.empty()) out = {1, 2, 4, 8};
+  return out;
+}
+
+}  // namespace scot::bench

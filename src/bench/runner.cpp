@@ -1,0 +1,18 @@
+#include "bench/runner.hpp"
+
+namespace scot::bench {
+
+CaseResult run_case(const CaseConfig& cfg) {
+  switch (cfg.scheme) {
+    case SchemeId::kNR: return run_case_nr(cfg);
+    case SchemeId::kEBR: return run_case_ebr(cfg);
+    case SchemeId::kHP: return run_case_hp(cfg);
+    case SchemeId::kHPopt: return run_case_hpopt(cfg);
+    case SchemeId::kHE: return run_case_he(cfg);
+    case SchemeId::kIBR: return run_case_ibr(cfg);
+    case SchemeId::kHLN: return run_case_hyaline(cfg);
+  }
+  return {};
+}
+
+}  // namespace scot::bench

@@ -1,0 +1,22 @@
+// Entry point of the benchmark harness: runs one (structure, scheme,
+// threads, workload) cell and reports throughput / memory overhead /
+// restart statistics.  The template instantiations live in one translation
+// unit per scheme (runner_<scheme>.cpp) to keep compile times parallel.
+#pragma once
+
+#include "bench/options.hpp"
+
+namespace scot::bench {
+
+CaseResult run_case(const CaseConfig& cfg);
+
+// Per-scheme dispatchers (implemented in runner_<scheme>.cpp).
+CaseResult run_case_nr(const CaseConfig& cfg);
+CaseResult run_case_ebr(const CaseConfig& cfg);
+CaseResult run_case_hp(const CaseConfig& cfg);
+CaseResult run_case_hpopt(const CaseConfig& cfg);
+CaseResult run_case_he(const CaseConfig& cfg);
+CaseResult run_case_ibr(const CaseConfig& cfg);
+CaseResult run_case_hyaline(const CaseConfig& cfg);
+
+}  // namespace scot::bench

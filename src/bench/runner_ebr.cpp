@@ -1,0 +1,10 @@
+#include "bench/runner.hpp"
+#include "bench/runner_impl.hpp"
+
+namespace scot::bench {
+
+CaseResult run_case_ebr(const CaseConfig& cfg) {
+  return detail::run_with_scheme<EbrDomain>(cfg);
+}
+
+}  // namespace scot::bench

@@ -1,0 +1,10 @@
+#include "bench/runner.hpp"
+#include "bench/runner_impl.hpp"
+
+namespace scot::bench {
+
+CaseResult run_case_hp(const CaseConfig& cfg) {
+  return detail::run_with_scheme<HpDomain>(cfg);
+}
+
+}  // namespace scot::bench

@@ -1,0 +1,10 @@
+#include "bench/runner.hpp"
+#include "bench/runner_impl.hpp"
+
+namespace scot::bench {
+
+CaseResult run_case_ibr(const CaseConfig& cfg) {
+  return detail::run_with_scheme<IbrDomain>(cfg);
+}
+
+}  // namespace scot::bench

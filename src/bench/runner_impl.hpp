@@ -1,0 +1,180 @@
+// Generic benchmark loop, instantiated once per SMR scheme.
+//
+// Protocol (paper §5): prefill the structure with unique keys covering 50%
+// of the key range, then run `threads` workers for `millis` ms applying the
+// read/insert/delete mix; report throughput, and (optionally) sample the
+// domain-wide count of retired-but-unreclaimed nodes every few milliseconds.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/options.hpp"
+#include "common/backoff.hpp"
+#include "common/timing.hpp"
+#include "common/xorshift.hpp"
+#include "core/core.hpp"
+
+namespace scot::bench {
+
+namespace detail {
+
+template <class DS, class Smr>
+std::unique_ptr<DS> make_structure(Smr& smr, const CaseConfig& cfg) {
+  if constexpr (requires { DS(smr, std::size_t{1}); }) {
+    const std::size_t buckets =
+        cfg.hash_buckets != 0
+            ? cfg.hash_buckets
+            : std::max<std::size_t>(1, cfg.key_range / 8);
+    return std::make_unique<DS>(smr, buckets);
+  } else {
+    return std::make_unique<DS>(smr);
+  }
+}
+
+template <class DS, class Smr>
+CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
+  SmrConfig scfg;
+  scfg.max_threads = cfg.threads;
+  scfg.scan_threshold = 128;                 // paper calibration
+  scfg.era_freq = 12 * cfg.threads;          // paper calibration
+  scfg.track_stats = cfg.sample_memory;
+  Smr smr(scfg);
+  auto ds = make_structure<DS, Smr>(smr, cfg);
+
+  // --- parallel prefill: unique keys, 50% of the range ---
+  const std::uint64_t target = cfg.key_range / 2;
+  {
+    std::atomic<std::uint64_t> inserted{0};
+    std::vector<std::thread> ts;
+    for (unsigned t = 0; t < cfg.threads; ++t) {
+      ts.emplace_back([&, t] {
+        auto& h = smr.handle(t);
+        Xoshiro256 rng(run_seed * 0x51ed2701 + t);
+        while (inserted.load(std::memory_order_relaxed) < target) {
+          const std::uint64_t k = rng.next_in(cfg.key_range);
+          if (ds->insert(h, k, k)) {
+            inserted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+  }
+
+  // --- measured phase ---
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> ops(cfg.threads, 0);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto& h = smr.handle(t);
+      Xoshiro256 rng(run_seed * 0x9e3779b9 + 1000003ULL * t);
+      while (!go.load(std::memory_order_acquire)) cpu_relax();
+      std::uint64_t local = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const std::uint64_t k = rng.next_in(cfg.key_range);
+        const auto roll = static_cast<int>(rng.next_in(100));
+        if (roll < cfg.read_pct) {
+          ds->contains(h, k);
+        } else if (roll < cfg.read_pct + cfg.insert_pct) {
+          ds->insert(h, k, k);
+        } else {
+          ds->erase(h, k);
+        }
+        ++local;
+      }
+      ops[t] = local;
+    });
+  }
+
+  // Memory-overhead sampler (Figures 10-12): average/peak of the pending
+  // gauge, sampled every 2 ms.
+  std::atomic<bool> sampler_stop{false};
+  double pending_sum = 0;
+  std::uint64_t pending_samples = 0;
+  std::int64_t pending_peak = 0;
+  std::thread sampler;
+  if (cfg.sample_memory) {
+    sampler = std::thread([&] {
+      while (!sampler_stop.load(std::memory_order_relaxed)) {
+        const std::int64_t p = smr.pending_nodes();
+        pending_sum += static_cast<double>(p);
+        ++pending_samples;
+        pending_peak = std::max(pending_peak, p);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  const std::uint64_t t0 = now_ns();
+  go.store(true, std::memory_order_release);
+  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.millis));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& w : workers) w.join();
+  const std::uint64_t t1 = now_ns();
+  if (cfg.sample_memory) {
+    sampler_stop.store(true, std::memory_order_relaxed);
+    sampler.join();
+  }
+
+  CaseResult r;
+  r.seconds = ns_to_sec(t1 - t0);
+  for (const auto o : ops) r.total_ops += o;
+  r.mops = static_cast<double>(r.total_ops) / r.seconds / 1e6;
+  if (pending_samples > 0)
+    r.avg_pending = pending_sum / static_cast<double>(pending_samples);
+  r.peak_pending = pending_peak;
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    r.restarts += smr.handle(t).ds_restarts;
+    r.recoveries += smr.handle(t).ds_recoveries;
+  }
+  return r;
+}
+
+template <class DS, class Smr>
+CaseResult run_structure(const CaseConfig& cfg) {
+  std::vector<CaseResult> results;
+  results.reserve(cfg.runs);
+  for (unsigned i = 0; i < cfg.runs; ++i)
+    results.push_back(run_one<DS, Smr>(cfg, cfg.seed + i));
+  std::sort(results.begin(), results.end(),
+            [](const CaseResult& a, const CaseResult& b) {
+              return a.mops < b.mops;
+            });
+  return results[results.size() / 2];  // median run
+}
+
+template <class Smr>
+CaseResult run_with_scheme(const CaseConfig& cfg) {
+  using Key = std::uint64_t;
+  using Value = std::uint64_t;
+  switch (cfg.structure) {
+    case StructureId::kHMList:
+      return run_structure<HarrisMichaelList<Key, Value, Smr>, Smr>(cfg);
+    case StructureId::kHList:
+      return run_structure<HarrisList<Key, Value, Smr>, Smr>(cfg);
+    case StructureId::kHListWF:
+      return run_structure<
+          HarrisList<Key, Value, Smr, HarrisListWaitFreeTraits>, Smr>(cfg);
+    case StructureId::kNMTree:
+      return run_structure<NatarajanMittalTree<Key, Value, Smr>, Smr>(cfg);
+    case StructureId::kHashMap:
+      return run_structure<HashMap<Key, Value, Smr>, Smr>(cfg);
+    case StructureId::kSkipList:
+      return run_structure<SkipList<Key, Value, Smr>, Smr>(cfg);
+    case StructureId::kSkipListEager:
+      return run_structure<SkipList<Key, Value, Smr, SkipListEagerTraits>,
+                           Smr>(cfg);
+  }
+  return {};
+}
+
+}  // namespace detail
+
+}  // namespace scot::bench

@@ -1,0 +1,10 @@
+#include "bench/runner.hpp"
+#include "bench/runner_impl.hpp"
+
+namespace scot::bench {
+
+CaseResult run_case_nr(const CaseConfig& cfg) {
+  return detail::run_with_scheme<NoReclaimDomain>(cfg);
+}
+
+}  // namespace scot::bench

@@ -1,0 +1,31 @@
+// Cache-line alignment helpers shared by the SMR schemes and the benchmark
+// harness.  Per-thread metadata that is written on the hot path (hazard
+// slots, era reservations, operation counters) must live on its own cache
+// line, otherwise the cross-thread scans performed during reclamation turn
+// into false-sharing storms.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace scot {
+
+// std::hardware_destructive_interference_size is 64 on x86-64 with GCC, but
+// adjacent-line prefetching makes 128 the safe padding unit for data that is
+// both written locally and scanned remotely (this is what most published SMR
+// implementations, including the Hazard Eras and IBR benchmarks, use).
+inline constexpr std::size_t kCacheLine = 64;
+inline constexpr std::size_t kFalseSharingRange = 128;
+
+// Wraps a value so that it occupies (at least) one false-sharing range.
+template <class T>
+struct alignas(kFalseSharingRange) Padded {
+  T value{};
+
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+};
+
+}  // namespace scot

@@ -1,0 +1,40 @@
+// Bounded exponential backoff for CAS retry loops.  Used sparingly: the
+// paper's data structures rely on helping rather than backoff, but the
+// benchmark prefill and a few test utilities use it to avoid livelock on
+// heavily oversubscribed runs (the 2-core / 8-thread configurations).
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace scot {
+
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  asm volatile("" ::: "memory");
+#endif
+}
+
+class Backoff {
+ public:
+  void spin() noexcept {
+    for (std::uint32_t i = 0; i < limit_; ++i) cpu_relax();
+    if (limit_ < kMax) limit_ <<= 1;
+  }
+
+  void reset() noexcept { limit_ = kMin; }
+
+ private:
+  static constexpr std::uint32_t kMin = 4;
+  static constexpr std::uint32_t kMax = 1024;
+  std::uint32_t limit_ = kMin;
+};
+
+}  // namespace scot

@@ -1,0 +1,22 @@
+// Monotonic timing helpers for the benchmark harness.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace scot {
+
+using Clock = std::chrono::steady_clock;
+
+inline std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+inline double ns_to_sec(std::uint64_t ns) noexcept {
+  return static_cast<double>(ns) * 1e-9;
+}
+
+}  // namespace scot

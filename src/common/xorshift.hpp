@@ -1,0 +1,53 @@
+// Small, fast per-thread PRNG used by the workload generator and the tests.
+// xoshiro256** has excellent statistical quality for benchmark key streams
+// and is allocation-free, which matters because the benchmark threads call
+// it once per operation.
+#pragma once
+
+#include <cstdint>
+
+namespace scot {
+
+class Xoshiro256 {
+ public:
+  // SplitMix64 seeding as recommended by the xoshiro authors: it guarantees
+  // that even adjacent integer seeds produce uncorrelated streams.
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Unbiased-enough range reduction for benchmark purposes (Lemire's
+  // multiply-shift; the bias for ranges << 2^64 is negligible).
+  constexpr std::uint64_t next_in(std::uint64_t bound) noexcept {
+    return static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(next()) * bound) >> 64);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace scot

@@ -1,0 +1,11 @@
+// Umbrella header for the SCOT data structures.
+#pragma once
+
+#include "core/harris_list.hpp"
+#include "core/harris_michael_list.hpp"
+#include "core/hash_map.hpp"
+#include "core/marked_ptr.hpp"
+#include "core/nm_tree.hpp"
+#include "core/skip_list.hpp"
+#include "core/wait_free.hpp"
+#include "smr/smr.hpp"

@@ -1,0 +1,156 @@
+// EBR: epoch-based reclamation (Fraser 2004; Hart et al. 2007).
+//
+// Fast and easy to use, but *not robust*: a stalled thread freezes its
+// published epoch, which blocks reclamation of everything retired at or after
+// that epoch — memory grows without bound (the paper's motivating weakness,
+// Section 2.2.1, and the behaviour our robustness tests demonstrate).
+//
+// Reclamation rule.  A thread entering an operation publishes the global
+// epoch E; while inside the operation it can only reach nodes that were still
+// linked when it entered.  A node retired at epoch R was unlinked before the
+// retire, so any thread whose published reservation is > R entered after the
+// unlink and cannot hold a reference.  Hence: free a retired node once
+// `retire_epoch < min(active reservations)`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/align.hpp"
+#include "smr/handle_core.hpp"
+#include "smr/node_pool.hpp"
+#include "smr/smr_config.hpp"
+
+namespace scot {
+
+class EbrDomain {
+ public:
+  static constexpr const char* kName = "EBR";
+  static constexpr bool kRobust = false;
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  class Handle : public HandleCore<EbrDomain, Handle> {
+   public:
+    using Base = HandleCore<EbrDomain, Handle>;
+    Handle(EbrDomain* dom, unsigned tid) : Base(dom, tid) {}
+
+    void begin_op() noexcept {
+      // seq_cst: the reservation must be visible to reclaimers before any of
+      // this operation's shared loads execute (StoreLoad).
+      const std::uint64_t e = dom_->clock_.load(std::memory_order_acquire);
+      dom_->res_[tid_]->store(e, std::memory_order_seq_cst);
+    }
+    void end_op() noexcept {
+      dom_->res_[tid_]->store(kIdle, std::memory_order_release);
+    }
+
+    template <class P>
+    P protect(const std::atomic<P>& src, unsigned /*idx*/) noexcept {
+      return src.load(std::memory_order_acquire);
+    }
+    template <class T>
+    void publish(T* /*p*/, unsigned /*idx*/) noexcept {}
+    void dup(unsigned /*i*/, unsigned /*j*/) noexcept {}
+    static constexpr bool op_valid() noexcept { return true; }
+    void revalidate_op() noexcept {}
+
+    void retire(ReclaimNode* n) {
+      n->debug_state = kNodeRetired;
+      n->retire_era = dom_->clock_.load(std::memory_order_acquire);
+      limbo_.push(n);
+      dom_->counters_.on_retire(dom_->cfg_.track_stats);
+      if (++tick_ >= dom_->cfg_.era_freq) {
+        tick_ = 0;
+        dom_->clock_.fetch_add(1, std::memory_order_acq_rel);
+      }
+      if (limbo_.count >= dom_->cfg_.scan_threshold) scan();
+    }
+
+    std::uint64_t on_alloc_era() noexcept { return 0; }
+
+    // Frees every retired node no active reservation can still reference.
+    void scan() {
+      const std::uint64_t min_res = dom_->min_reservation();
+      ReclaimNode* n = limbo_.take();
+      std::uint64_t freed = 0;
+      while (n != nullptr) {
+        ReclaimNode* next = n->smr_next;
+        if (n->retire_era < min_res) {
+          dom_->pool().free(tid_, n, n->alloc_size);
+          ++freed;
+        } else {
+          limbo_.push(n);
+        }
+        n = next;
+      }
+      dom_->counters_.on_free(freed, dom_->cfg_.track_stats);
+    }
+
+    // Test hook: number of nodes parked in this thread's limbo list.
+    unsigned limbo_size() const noexcept { return limbo_.count; }
+
+   private:
+    friend class EbrDomain;
+    LimboList limbo_;
+    unsigned tick_ = 0;
+  };
+
+  explicit EbrDomain(SmrConfig cfg = {})
+      : cfg_(cfg), pool_(cfg.max_threads), res_(cfg.max_threads) {
+    for (auto& r : res_) r->store(kIdle, std::memory_order_relaxed);
+    handles_.reserve(cfg_.max_threads);
+    for (unsigned t = 0; t < cfg_.max_threads; ++t)
+      handles_.push_back(std::make_unique<Handle>(this, t));
+  }
+
+  ~EbrDomain() { drain_all(); }
+
+  Handle& handle(unsigned tid) { return *handles_.at(tid); }
+  const SmrConfig& config() const noexcept { return cfg_; }
+  NodePool& pool() noexcept { return pool_; }
+  std::int64_t pending_nodes() const noexcept {
+    return counters_.pending.load(std::memory_order_relaxed);
+  }
+  const SmrCounters& counters() const noexcept { return counters_; }
+  std::uint64_t epoch() const noexcept {
+    return clock_.load(std::memory_order_acquire);
+  }
+
+  std::uint64_t min_reservation() const noexcept {
+    std::uint64_t m = kIdle;
+    for (const auto& r : res_) {
+      const std::uint64_t v = r->load(std::memory_order_acquire);
+      if (v < m) m = v;
+    }
+    return m;
+  }
+
+ private:
+  friend class Handle;
+
+  // Destructor-time cleanup: no threads are active, free everything.
+  void drain_all() {
+    std::uint64_t freed = 0;
+    for (auto& h : handles_) {
+      ReclaimNode* n = h->limbo_.take();
+      while (n != nullptr) {
+        ReclaimNode* next = n->smr_next;
+        pool_.free(h->tid(), n, n->alloc_size);
+        ++freed;
+        n = next;
+      }
+    }
+    counters_.on_free(freed, cfg_.track_stats);
+  }
+
+  SmrConfig cfg_;
+  NodePool pool_;
+  SmrCounters counters_;
+  std::atomic<std::uint64_t> clock_{1};
+  std::vector<Padded<std::atomic<std::uint64_t>>> res_;
+  std::vector<std::unique_ptr<Handle>> handles_;
+};
+
+}  // namespace scot

@@ -1,0 +1,94 @@
+// CRTP base shared by the per-thread handles of all reclamation schemes.
+//
+// A Handle is the per-thread facade of a reclamation domain: all allocation,
+// protection and retirement flows through it.  Handles are *not* thread-safe;
+// handle `tid` must only ever be used by one thread at a time (the benchmark
+// harness and tests enforce this).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+#include "smr/node_pool.hpp"
+#include "smr/reclaim_node.hpp"
+
+namespace scot {
+
+// Intrusive singly-linked list of retired nodes awaiting reclamation.
+struct LimboList {
+  ReclaimNode* head = nullptr;
+  unsigned count = 0;
+
+  void push(ReclaimNode* n) noexcept {
+    n->smr_next = head;
+    head = n;
+    ++count;
+  }
+
+  ReclaimNode* take() noexcept {
+    ReclaimNode* h = head;
+    head = nullptr;
+    count = 0;
+    return h;
+  }
+};
+
+// Derived must provide:
+//   Domain*  dom_;            (set by constructor)
+//   unsigned tid_;
+//   std::uint64_t on_alloc_era();   // birth era to stamp (0 for non-era schemes)
+template <class Domain, class Derived>
+class HandleCore {
+ public:
+  HandleCore(Domain* dom, unsigned tid) : dom_(dom), tid_(tid) {}
+
+  HandleCore(const HandleCore&) = delete;
+  HandleCore& operator=(const HandleCore&) = delete;
+
+  unsigned tid() const noexcept { return tid_; }
+  Domain& domain() noexcept { return *dom_; }
+
+  // Allocates and constructs a node.  T must derive from ReclaimNode and be
+  // trivially destructible: reclamation is type-erased and never runs
+  // destructors (all pooled node types in this library are PODs plus
+  // atomics).
+  template <class T, class... Args>
+  T* alloc(Args&&... args) {
+    static_assert(std::is_base_of_v<ReclaimNode, T>);
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "pooled nodes must be trivially destructible");
+    void* mem = dom_->pool().alloc(tid_, sizeof(T));
+    // Stamp the birth era before the node can become reachable.  The header
+    // is outside the object, so placement-new below does not disturb it.
+    header_of(mem)->birth_era.store(derived()->on_alloc_era(),
+                                    std::memory_order_release);
+    T* n = new (mem) T(std::forward<Args>(args)...);
+    n->alloc_size = sizeof(T);
+    n->debug_state = kNodeLive;
+    return n;
+  }
+
+  // Frees a node that was never published into a shared structure (e.g. the
+  // loser of an insertion CAS).  Bypasses retirement entirely.
+  template <class T>
+  void dealloc_unpublished(T* n) {
+    assert(n->debug_state == kNodeLive);
+    dom_->pool().free(tid_, n, n->alloc_size);
+  }
+
+  // --- data-structure statistics (Table 2 of the paper) -------------------
+  // Incremented by the data structures, summed by the harness.  Plain fields:
+  // each handle is single-threaded.
+  std::uint64_t ds_restarts = 0;    // full traversal restarts
+  std::uint64_t ds_recoveries = 0;  // §3.2.1 recovery-optimization escapes
+
+ protected:
+  Derived* derived() noexcept { return static_cast<Derived*>(this); }
+
+  Domain* dom_;
+  unsigned tid_;
+};
+
+}  // namespace scot

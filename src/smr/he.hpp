@@ -1,0 +1,221 @@
+// HE: hazard eras (Ramalhete & Correia, SPAA 2017), with the reservation-
+// snapshot scan optimization the paper applies to it (Section 5: "we
+// implemented a similar optimization for HE and IBR").
+//
+// HE keeps the hazard-pointer programming model (indexed protection slots,
+// dup) but publishes *eras* instead of pointers: protect(idx) records the
+// global era at which the load was performed.  A retired node is reclaimable
+// once no published era intersects its [birth, retire] lifetime.  Compared to
+// HP this replaces the per-node publication fence with (amortized) one fence
+// per era change.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/align.hpp"
+#include "smr/handle_core.hpp"
+#include "smr/node_pool.hpp"
+#include "smr/smr_config.hpp"
+
+namespace scot {
+
+class HeDomain {
+ public:
+  static constexpr const char* kName = "HE";
+  static constexpr bool kRobust = true;
+  static constexpr std::uint64_t kIdleEra = 0;  // eras start at 1
+
+  class Handle : public HandleCore<HeDomain, Handle> {
+   public:
+    using Base = HandleCore<HeDomain, Handle>;
+    Handle(HeDomain* dom, unsigned tid) : Base(dom, tid) {}
+
+    void begin_op() noexcept {}
+
+    void end_op() noexcept {
+      while (used_mask_ != 0) {
+        const unsigned idx =
+            static_cast<unsigned>(__builtin_ctz(used_mask_));
+        used_mask_ &= used_mask_ - 1;
+        slot(idx).store(kIdleEra, std::memory_order_release);
+      }
+    }
+
+    // HE get_protected: loop until the global era observed after the load
+    // equals the era published in the slot.  When the era is already
+    // published (the common case within one era period) this is a plain
+    // load — the fence amortization that makes HE faster than HP.
+    template <class P>
+    P protect(const std::atomic<P>& src, unsigned idx) noexcept {
+      std::uint64_t prev = slot(idx).load(std::memory_order_relaxed);
+      for (;;) {
+        P v = src.load(std::memory_order_acquire);
+        const std::uint64_t e = dom_->clock_.load(std::memory_order_seq_cst);
+        if (e == prev) {
+          used_mask_ |= 1u << idx;
+          return v;
+        }
+        slot(idx).store(e, std::memory_order_seq_cst);
+        prev = e;
+      }
+    }
+
+    template <class T>
+    void publish(T* /*p*/, unsigned idx) noexcept {
+      // Publishing the current era protects everything alive at it,
+      // including the immortal anchor this is used for.
+      slot(idx).store(dom_->clock_.load(std::memory_order_acquire),
+                      std::memory_order_seq_cst);
+      used_mask_ |= 1u << idx;
+    }
+
+    void dup(unsigned i, unsigned j) noexcept {
+      assert(i < j && "SCOT requires ascending-index dup (paper §3.2)");
+      slot(j).store(slot(i).load(std::memory_order_relaxed),
+                    std::memory_order_release);
+      used_mask_ |= 1u << j;
+    }
+
+    static constexpr bool op_valid() noexcept { return true; }
+    void revalidate_op() noexcept {}
+
+    void retire(ReclaimNode* n) {
+      n->debug_state = kNodeRetired;
+      n->retire_era = dom_->clock_.load(std::memory_order_acquire);
+      limbo_.push(n);
+      dom_->counters_.on_retire(dom_->cfg_.track_stats);
+      era_tick();
+      if (limbo_.count >= dom_->cfg_.scan_threshold) scan();
+    }
+
+    std::uint64_t on_alloc_era() noexcept {
+      era_tick();
+      return dom_->clock_.load(std::memory_order_acquire);
+    }
+
+    void scan() {
+      // Reservation snapshot (sorted) — one pass over the global slot array
+      // per scan instead of one per retired node.
+      snapshot_.clear();
+      dom_->collect_eras(snapshot_);
+      std::sort(snapshot_.begin(), snapshot_.end());
+      std::uint64_t freed = 0;
+      ReclaimNode* n = limbo_.take();
+      while (n != nullptr) {
+        ReclaimNode* next = n->smr_next;
+        if (lifetime_reserved(birth_era_of(n), n->retire_era)) {
+          limbo_.push(n);
+        } else {
+          dom_->pool().free(tid_, n, n->alloc_size);
+          ++freed;
+        }
+        n = next;
+      }
+      dom_->counters_.on_free(freed, dom_->cfg_.track_stats);
+    }
+
+    unsigned limbo_size() const noexcept { return limbo_.count; }
+
+   private:
+    friend class HeDomain;
+
+    // True if some published era lies within [birth, retire].
+    bool lifetime_reserved(std::uint64_t birth,
+                           std::uint64_t retire) const noexcept {
+      auto it = std::lower_bound(snapshot_.begin(), snapshot_.end(), birth);
+      return it != snapshot_.end() && *it <= retire;
+    }
+
+    void era_tick() noexcept {
+      if (++tick_ >= dom_->cfg_.era_freq) {
+        tick_ = 0;
+        dom_->clock_.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+
+    std::atomic<std::uint64_t>& slot(unsigned idx) noexcept {
+      return dom_->slot(tid_, idx);
+    }
+
+    LimboList limbo_;
+    std::uint32_t used_mask_ = 0;
+    unsigned tick_ = 0;
+    std::vector<std::uint64_t> snapshot_;
+  };
+
+  explicit HeDomain(SmrConfig cfg = {})
+      : cfg_(cfg),
+        pool_(cfg.max_threads),
+        stride_((cfg.slots_per_thread + kSlotsPerLine - 1) / kSlotsPerLine *
+                kSlotsPerLine),
+        slots_(static_cast<std::size_t>(stride_) * cfg.max_threads) {
+    assert(cfg_.slots_per_thread <= 32);
+    for (auto& s : slots_) s.store(kIdleEra, std::memory_order_relaxed);
+    handles_.reserve(cfg_.max_threads);
+    for (unsigned t = 0; t < cfg_.max_threads; ++t)
+      handles_.push_back(std::make_unique<Handle>(this, t));
+  }
+
+  ~HeDomain() { drain_all(); }
+
+  Handle& handle(unsigned tid) { return *handles_.at(tid); }
+  const SmrConfig& config() const noexcept { return cfg_; }
+  NodePool& pool() noexcept { return pool_; }
+  std::int64_t pending_nodes() const noexcept {
+    return counters_.pending.load(std::memory_order_relaxed);
+  }
+  const SmrCounters& counters() const noexcept { return counters_; }
+  std::uint64_t era() const noexcept {
+    return clock_.load(std::memory_order_acquire);
+  }
+
+  std::atomic<std::uint64_t>& slot(unsigned tid, unsigned idx) noexcept {
+    assert(idx < cfg_.slots_per_thread);
+    return slots_[static_cast<std::size_t>(tid) * stride_ + idx];
+  }
+
+  void collect_eras(std::vector<std::uint64_t>& out) const {
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+      for (unsigned i = 0; i < cfg_.slots_per_thread; ++i) {
+        const std::uint64_t e =
+            slots_[static_cast<std::size_t>(t) * stride_ + i].load(
+                std::memory_order_acquire);
+        if (e != kIdleEra) out.push_back(e);
+      }
+    }
+  }
+
+ private:
+  friend class Handle;
+  static constexpr unsigned kSlotsPerLine = static_cast<unsigned>(
+      kFalseSharingRange / sizeof(std::atomic<std::uint64_t>));
+
+  void drain_all() {
+    std::uint64_t freed = 0;
+    for (auto& h : handles_) {
+      ReclaimNode* n = h->limbo_.take();
+      while (n != nullptr) {
+        ReclaimNode* next = n->smr_next;
+        pool_.free(h->tid(), n, n->alloc_size);
+        ++freed;
+        n = next;
+      }
+    }
+    counters_.on_free(freed, cfg_.track_stats);
+  }
+
+  SmrConfig cfg_;
+  NodePool pool_;
+  SmrCounters counters_;
+  std::atomic<std::uint64_t> clock_{1};
+  unsigned stride_;
+  std::vector<std::atomic<std::uint64_t>> slots_;
+  std::vector<std::unique_ptr<Handle>> handles_;
+};
+
+}  // namespace scot

@@ -1,0 +1,238 @@
+// HP: hazard pointers (Michael 2004), in the two variants the paper
+// evaluates:
+//
+//  * `HpDomain`    — the original scheme: every limbo-list scan re-reads the
+//                    global hazard array once per retired node.
+//  * `HpOptDomain` — "HPopt": captures one local snapshot of all hazard slots
+//                    before scanning the limbo list and binary-searches it
+//                    (the optimization the paper borrows from Hyaline [26]).
+//                    The paper reports a substantial difference in some
+//                    tests; bench_micro_smr and the figure benches expose it.
+//
+// protect(src, idx) implements Figure 1 of the paper: publish the pointer
+// (with logical-deletion bits cleared) in slot `idx`, then re-read `src`
+// until it is stable.  dup(i, j) copies slot i to slot j; SCOT requires all
+// dup calls to copy toward *higher* indices because scans read slots in
+// ascending order (see DESIGN.md §4).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/align.hpp"
+#include "smr/handle_core.hpp"
+#include "smr/node_pool.hpp"
+#include "smr/smr_config.hpp"
+
+namespace scot {
+
+template <bool kSnapshotScan>
+class HazardPointerDomain {
+ public:
+  static constexpr const char* kName = kSnapshotScan ? "HPopt" : "HP";
+  static constexpr bool kRobust = true;
+
+  class Handle : public HandleCore<HazardPointerDomain, Handle> {
+   public:
+    using Base = HandleCore<HazardPointerDomain, Handle>;
+    Handle(HazardPointerDomain* dom, unsigned tid) : Base(dom, tid) {}
+
+   protected:
+    // HazardPointerDomain is a template, so the base is dependent and its
+    // members need explicit re-introduction.
+    using Base::dom_;
+    using Base::tid_;
+
+   public:
+
+    void begin_op() noexcept {}
+
+    // Clears every slot this operation touched (release: the nodes remain
+    // valid until the store is visible; nothing in this thread reads them
+    // afterwards).
+    void end_op() noexcept {
+      while (used_mask_ != 0) {
+        const unsigned idx =
+            static_cast<unsigned>(__builtin_ctz(used_mask_));
+        used_mask_ &= used_mask_ - 1;
+        slot(idx).store(nullptr, std::memory_order_release);
+      }
+    }
+
+    template <class P>
+    P protect(const std::atomic<P>& src, unsigned idx) noexcept {
+      P cur = src.load(std::memory_order_acquire);
+      for (;;) {
+        // seq_cst publish followed by a seq_cst re-read gives the StoreLoad
+        // ordering the HP safety argument requires: if the re-read still
+        // sees `cur`, the publication preceded any subsequent unlink of the
+        // link we loaded from, so a retirement scan must observe the slot.
+        slot(idx).store(smr_raw(cur), std::memory_order_seq_cst);
+        P again = src.load(std::memory_order_seq_cst);
+        if (again == cur) break;
+        cur = again;
+      }
+      used_mask_ |= 1u << idx;
+      return cur;
+    }
+
+    // Non-validating publication, for immortal anchors (sentinel nodes that
+    // are never retired).  Do NOT use for reclaimable nodes.
+    template <class T>
+    void publish(T* p, unsigned idx) noexcept {
+      slot(idx).store(smr_raw(p), std::memory_order_seq_cst);
+      used_mask_ |= 1u << idx;
+    }
+
+    void dup(unsigned i, unsigned j) noexcept {
+      assert(i < j && "SCOT requires ascending-index dup (paper §3.2)");
+      slot(j).store(slot(i).load(std::memory_order_relaxed),
+                    std::memory_order_release);
+      used_mask_ |= 1u << j;
+    }
+
+    static constexpr bool op_valid() noexcept { return true; }
+    void revalidate_op() noexcept {}
+
+    void retire(ReclaimNode* n) {
+      n->debug_state = kNodeRetired;
+      limbo_.push(n);
+      dom_->counters_.on_retire(dom_->cfg_.track_stats);
+      if (limbo_.count >= dom_->cfg_.scan_threshold) scan();
+    }
+
+    std::uint64_t on_alloc_era() noexcept { return 0; }
+
+    void scan() {
+      std::uint64_t freed = 0;
+      if constexpr (kSnapshotScan) {
+        snapshot_.clear();
+        dom_->collect_hazards(snapshot_);
+        std::sort(snapshot_.begin(), snapshot_.end());
+        ReclaimNode* n = limbo_.take();
+        while (n != nullptr) {
+          ReclaimNode* next = n->smr_next;
+          if (std::binary_search(snapshot_.begin(), snapshot_.end(), n)) {
+            limbo_.push(n);
+          } else {
+            dom_->pool().free(tid_, n, n->alloc_size);
+            ++freed;
+          }
+          n = next;
+        }
+      } else {
+        ReclaimNode* n = limbo_.take();
+        while (n != nullptr) {
+          ReclaimNode* next = n->smr_next;
+          if (dom_->is_hazard(n)) {
+            limbo_.push(n);
+          } else {
+            dom_->pool().free(tid_, n, n->alloc_size);
+            ++freed;
+          }
+          n = next;
+        }
+      }
+      dom_->counters_.on_free(freed, dom_->cfg_.track_stats);
+    }
+
+    unsigned limbo_size() const noexcept { return limbo_.count; }
+
+   private:
+    friend class HazardPointerDomain;
+
+    std::atomic<ReclaimNode*>& slot(unsigned idx) noexcept {
+      return dom_->slot(tid_, idx);
+    }
+
+    LimboList limbo_;
+    std::uint32_t used_mask_ = 0;
+    std::vector<ReclaimNode*> snapshot_;  // HPopt scratch, reused across scans
+  };
+
+  explicit HazardPointerDomain(SmrConfig cfg = {})
+      : cfg_(cfg),
+        pool_(cfg.max_threads),
+        stride_((cfg.slots_per_thread + kSlotsPerLine - 1) / kSlotsPerLine *
+                kSlotsPerLine),
+        slots_(static_cast<std::size_t>(stride_) * cfg.max_threads) {
+    assert(cfg_.slots_per_thread <= 32);
+    for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
+    handles_.reserve(cfg_.max_threads);
+    for (unsigned t = 0; t < cfg_.max_threads; ++t)
+      handles_.push_back(std::make_unique<Handle>(this, t));
+  }
+
+  ~HazardPointerDomain() { drain_all(); }
+
+  Handle& handle(unsigned tid) { return *handles_.at(tid); }
+  const SmrConfig& config() const noexcept { return cfg_; }
+  NodePool& pool() noexcept { return pool_; }
+  std::int64_t pending_nodes() const noexcept {
+    return counters_.pending.load(std::memory_order_relaxed);
+  }
+  const SmrCounters& counters() const noexcept { return counters_; }
+
+  std::atomic<ReclaimNode*>& slot(unsigned tid, unsigned idx) noexcept {
+    assert(idx < cfg_.slots_per_thread);
+    return slots_[static_cast<std::size_t>(tid) * stride_ + idx];
+  }
+
+  bool is_hazard(const ReclaimNode* n) const noexcept {
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+      for (unsigned i = 0; i < cfg_.slots_per_thread; ++i) {
+        if (slots_[static_cast<std::size_t>(t) * stride_ + i].load(
+                std::memory_order_acquire) == n)
+          return true;
+      }
+    }
+    return false;
+  }
+
+  void collect_hazards(std::vector<ReclaimNode*>& out) const {
+    // Ascending slot order; paired with ascending-index dup this guarantees
+    // a protected node is seen in at least one slot (paper §3.2).
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+      for (unsigned i = 0; i < cfg_.slots_per_thread; ++i) {
+        ReclaimNode* v = slots_[static_cast<std::size_t>(t) * stride_ + i]
+                             .load(std::memory_order_acquire);
+        if (v != nullptr) out.push_back(v);
+      }
+    }
+  }
+
+ private:
+  friend class Handle;
+  static constexpr unsigned kSlotsPerLine =
+      static_cast<unsigned>(kFalseSharingRange / sizeof(std::atomic<void*>));
+
+  void drain_all() {
+    std::uint64_t freed = 0;
+    for (auto& h : handles_) {
+      ReclaimNode* n = h->limbo_.take();
+      while (n != nullptr) {
+        ReclaimNode* next = n->smr_next;
+        pool_.free(h->tid(), n, n->alloc_size);
+        ++freed;
+        n = next;
+      }
+    }
+    counters_.on_free(freed, cfg_.track_stats);
+  }
+
+  SmrConfig cfg_;
+  NodePool pool_;
+  SmrCounters counters_;
+  unsigned stride_;
+  std::vector<std::atomic<ReclaimNode*>> slots_;
+  std::vector<std::unique_ptr<Handle>> handles_;
+};
+
+using HpDomain = HazardPointerDomain<false>;
+using HpOptDomain = HazardPointerDomain<true>;
+
+}  // namespace scot

@@ -1,0 +1,272 @@
+// Hyaline-1S (Nikolaev & Ravindran, PLDI 2021): snapshot-free robust
+// reclamation with distributed reference counting.
+//
+// Mechanics reproduced here:
+//  * One reservation *slot* per thread: { head of a retirement list, era }.
+//    enter() publishes the current era and activates the slot; leave()
+//    detaches the slot's accumulated list and decrements the reference
+//    count of every batch that appears on it.
+//  * retire() accumulates nodes into a per-thread *batch* of
+//    `max_threads + 1` nodes.  A full batch is handed to every active slot
+//    whose era could allow the owning thread to hold a reference
+//    (slot era >= batch min birth era — the "1S" filter); each insertion
+//    uses a distinct member node of the batch as the list entry, which is
+//    why the batch must have at least as many nodes as there are slots.
+//  * The batch's reference counter starts with a creator guard so that
+//    concurrent leave() decrements cannot hit zero before all insertions
+//    are accounted; whichever thread moves the counter to zero frees the
+//    whole batch ("reclamation by any thread", the property the paper
+//    credits for Hyaline's performance).
+//  * Robustness: protect() checks the birth era of the loaded node; if the
+//    node is younger than the published era the thread refreshes its
+//    reservation and raises a restart flag that the data structures poll
+//    via op_valid().  The type-stable pool guarantees this birth-era read
+//    is safe even if the node was concurrently reclaimed (see
+//    reclaim_node.hpp).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/align.hpp"
+#include "smr/handle_core.hpp"
+#include "smr/node_pool.hpp"
+#include "smr/smr_config.hpp"
+
+namespace scot {
+
+class HyalineDomain {
+ public:
+  static constexpr const char* kName = "HLN";
+  static constexpr bool kRobust = true;
+
+  struct BatchHandle {
+    std::atomic<std::int64_t> refs{0};
+    ReclaimNode* first = nullptr;
+    unsigned count = 0;
+  };
+
+  class Handle : public HandleCore<HyalineDomain, Handle> {
+   public:
+    using Base = HandleCore<HyalineDomain, Handle>;
+    Handle(HyalineDomain* dom, unsigned tid) : Base(dom, tid) {}
+
+    void begin_op() noexcept {
+      auto& s = *dom_->slots_[tid_];
+      era_local_ = dom_->clock_.load(std::memory_order_acquire);
+      s.era.store(era_local_, std::memory_order_release);
+      // seq_cst: activation must be visible to retirers before this
+      // operation performs any shared loads.
+      assert(s.head.load(std::memory_order_relaxed) == kInactive);
+      s.head.store(kActiveEmpty, std::memory_order_seq_cst);
+    }
+
+    void end_op() noexcept {
+      auto& s = *dom_->slots_[tid_];
+      const std::uintptr_t prev =
+          s.head.exchange(kInactive, std::memory_order_acq_rel);
+      drain(prev);
+    }
+
+    template <class P>
+    P protect(const std::atomic<P>& src, unsigned /*idx*/) noexcept {
+      P v = src.load(std::memory_order_acquire);
+      ReclaimNode* n = smr_raw(v);
+      if (n != nullptr && birth_era_of(n) > era_local_) {
+        // The node is younger than our reservation: its batch may skip our
+        // slot, so dereferencing it would be unsafe.  Refresh the
+        // reservation and make the data structure restart from an anchor.
+        end_op();
+        begin_op();
+        restart_ = true;
+      }
+      return v;
+    }
+
+    template <class T>
+    void publish(T* /*p*/, unsigned /*idx*/) noexcept {}
+    void dup(unsigned /*i*/, unsigned /*j*/) noexcept {}
+
+    bool op_valid() const noexcept { return !restart_; }
+    void revalidate_op() noexcept { restart_ = false; }
+
+    void retire(ReclaimNode* n) {
+      n->debug_state = kNodeRetired;
+      n->retire_era = dom_->clock_.load(std::memory_order_acquire);
+      n->batch = nullptr;
+      const std::uint64_t birth = birth_era_of(n);
+      if (batch_count_ == 0 || birth < batch_min_birth_)
+        batch_min_birth_ = birth;
+      n->smr_next = batch_head_;
+      batch_head_ = n;
+      ++batch_count_;
+      dom_->counters_.on_retire(dom_->cfg_.track_stats);
+      era_tick();
+      if (batch_count_ >= dom_->batch_capacity_) seal_batch();
+    }
+
+    std::uint64_t on_alloc_era() noexcept {
+      era_tick();
+      return dom_->clock_.load(std::memory_order_acquire);
+    }
+
+    // Test hooks.
+    unsigned pending_batch_size() const noexcept { return batch_count_; }
+    std::uint64_t reservation_era() const noexcept { return era_local_; }
+
+   private:
+    friend class HyalineDomain;
+
+    void era_tick() noexcept {
+      if (++tick_ >= dom_->cfg_.era_freq) {
+        tick_ = 0;
+        dom_->clock_.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+
+    // Hands the accumulated batch to all active, era-overlapping slots.
+    void seal_batch() {
+      auto* bh = new BatchHandle;
+      bh->refs.store(kGuard, std::memory_order_relaxed);
+      bh->first = batch_head_;
+      bh->count = batch_count_;
+      for (ReclaimNode* n = batch_head_; n != nullptr; n = n->smr_next)
+        n->batch = bh;
+
+      std::int64_t inserted = 0;
+      ReclaimNode* entry = batch_head_;
+      const unsigned nslots = dom_->cfg_.max_threads;
+      for (unsigned s = 0; s < nslots && entry != nullptr; ++s) {
+        auto& slot = *dom_->slots_[s];
+        std::uintptr_t h = slot.head.load(std::memory_order_acquire);
+        for (;;) {
+          if (h == kInactive) break;
+          if (slot.era.load(std::memory_order_acquire) < batch_min_birth_) {
+            // 1S filter: the slot's thread entered before any node in this
+            // batch was born; it would have restarted rather than hold a
+            // reference into the batch.
+            break;
+          }
+          entry->slot_next = reinterpret_cast<ReclaimNode*>(h);
+          if (slot.head.compare_exchange_weak(
+                  h, reinterpret_cast<std::uintptr_t>(entry),
+                  std::memory_order_acq_rel, std::memory_order_acquire)) {
+            ++inserted;
+            entry = entry->smr_next;  // consume one member node per slot
+            break;
+          }
+        }
+      }
+      batch_head_ = nullptr;
+      batch_count_ = 0;
+      batch_min_birth_ = 0;
+      adjust(bh, inserted - kGuard);
+    }
+
+    void drain(std::uintptr_t list) noexcept {
+      auto* e = reinterpret_cast<ReclaimNode*>(list);
+      assert(list != kInactive);
+      while (e != nullptr) {
+        ReclaimNode* next = e->slot_next;  // read before the batch can die
+        adjust(static_cast<BatchHandle*>(e->batch), -1);
+        e = next;
+      }
+    }
+
+    void adjust(BatchHandle* bh, std::int64_t delta) noexcept {
+      if (bh->refs.fetch_add(delta, std::memory_order_acq_rel) + delta == 0)
+        free_batch(bh);
+    }
+
+    void free_batch(BatchHandle* bh) noexcept {
+      std::uint64_t freed = 0;
+      ReclaimNode* n = bh->first;
+      while (n != nullptr) {
+        ReclaimNode* next = n->smr_next;
+        dom_->pool().free(tid_, n, n->alloc_size);
+        ++freed;
+        n = next;
+      }
+      assert(freed == bh->count);
+      dom_->counters_.on_free(freed, dom_->cfg_.track_stats);
+      delete bh;
+    }
+
+    std::uint64_t era_local_ = 0;
+    bool restart_ = false;
+    unsigned tick_ = 0;
+    ReclaimNode* batch_head_ = nullptr;
+    unsigned batch_count_ = 0;
+    std::uint64_t batch_min_birth_ = 0;
+  };
+
+  explicit HyalineDomain(SmrConfig cfg = {})
+      : cfg_(cfg),
+        pool_(cfg.max_threads),
+        batch_capacity_(cfg.batch_capacity != 0 ? cfg.batch_capacity
+                                                : cfg.max_threads + 1),
+        slots_(cfg.max_threads) {
+    assert(batch_capacity_ >= cfg_.max_threads + 1 &&
+           "a batch needs one member node per reservation slot");
+    handles_.reserve(cfg_.max_threads);
+    for (unsigned t = 0; t < cfg_.max_threads; ++t)
+      handles_.push_back(std::make_unique<Handle>(this, t));
+  }
+
+  ~HyalineDomain() { drain_all(); }
+
+  Handle& handle(unsigned tid) { return *handles_.at(tid); }
+  const SmrConfig& config() const noexcept { return cfg_; }
+  NodePool& pool() noexcept { return pool_; }
+  std::int64_t pending_nodes() const noexcept {
+    return counters_.pending.load(std::memory_order_relaxed);
+  }
+  const SmrCounters& counters() const noexcept { return counters_; }
+  std::uint64_t era() const noexcept {
+    return clock_.load(std::memory_order_acquire);
+  }
+  unsigned batch_capacity() const noexcept { return batch_capacity_; }
+
+ private:
+  friend class Handle;
+
+  static constexpr std::uintptr_t kActiveEmpty = 0;
+  static constexpr std::uintptr_t kInactive = 1;
+  static constexpr std::int64_t kGuard = std::int64_t{1} << 62;
+
+  struct SlotData {
+    std::atomic<std::uintptr_t> head{kInactive};
+    std::atomic<std::uint64_t> era{0};
+  };
+
+  // Destructor-time cleanup: all threads quiescent, slots inactive and
+  // drained, so only unsealed per-thread batches remain.
+  void drain_all() {
+    std::uint64_t freed = 0;
+    for (auto& h : handles_) {
+      ReclaimNode* n = h->batch_head_;
+      while (n != nullptr) {
+        ReclaimNode* next = n->smr_next;
+        pool_.free(h->tid(), n, n->alloc_size);
+        ++freed;
+        n = next;
+      }
+      h->batch_head_ = nullptr;
+      h->batch_count_ = 0;
+    }
+    counters_.on_free(freed, cfg_.track_stats);
+  }
+
+  SmrConfig cfg_;
+  NodePool pool_;
+  SmrCounters counters_;
+  std::atomic<std::uint64_t> clock_{1};
+  unsigned batch_capacity_;
+  std::vector<Padded<SlotData>> slots_;
+  std::vector<std::unique_ptr<Handle>> handles_;
+};
+
+}  // namespace scot

@@ -1,0 +1,195 @@
+// IBR: interval-based reclamation (Wen et al., PPoPP 2018), 2GE variant,
+// with the reservation-snapshot scan optimization from the paper.
+//
+// Each thread publishes one *interval* [lower, upper] instead of per-index
+// eras: `lower` is the era at operation start, `upper` is bumped lazily by
+// protect() whenever the global era has advanced.  A retired node is
+// reclaimable once its lifetime [birth, retire] overlaps no thread's
+// interval.  Because protection is not indexed, dup() is a no-op — this is
+// the "simplified programming model" the paper credits IBR with.
+//
+// Ordering note: begin_op stores `lower` (release) before `upper` (seq_cst).
+// A reclaimer snapshots `upper` first and `lower` second; if it observes the
+// new upper it is guaranteed to observe the new lower, and any torn pair it
+// can observe widens the interval (conservative).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/align.hpp"
+#include "smr/handle_core.hpp"
+#include "smr/node_pool.hpp"
+#include "smr/smr_config.hpp"
+
+namespace scot {
+
+class IbrDomain {
+ public:
+  static constexpr const char* kName = "IBR";
+  static constexpr bool kRobust = true;
+  static constexpr std::uint64_t kIdle = ~std::uint64_t{0};
+
+  class Handle : public HandleCore<IbrDomain, Handle> {
+   public:
+    using Base = HandleCore<IbrDomain, Handle>;
+    Handle(IbrDomain* dom, unsigned tid) : Base(dom, tid) {}
+
+    void begin_op() noexcept {
+      const std::uint64_t e = dom_->clock_.load(std::memory_order_acquire);
+      upper_cache_ = e;
+      (*dom_->res_[tid_]).lower.store(e, std::memory_order_release);
+      (*dom_->res_[tid_]).upper.store(e, std::memory_order_seq_cst);
+    }
+
+    void end_op() noexcept {
+      (*dom_->res_[tid_]).upper.store(kIdle, std::memory_order_release);
+      (*dom_->res_[tid_]).lower.store(kIdle, std::memory_order_release);
+    }
+
+    template <class P>
+    P protect(const std::atomic<P>& src, unsigned /*idx*/) noexcept {
+      for (;;) {
+        P v = src.load(std::memory_order_acquire);
+        const std::uint64_t e = dom_->clock_.load(std::memory_order_seq_cst);
+        if (e == upper_cache_) return v;
+        (*dom_->res_[tid_]).upper.store(e, std::memory_order_seq_cst);
+        upper_cache_ = e;
+      }
+    }
+
+    template <class T>
+    void publish(T* /*p*/, unsigned /*idx*/) noexcept {}
+    void dup(unsigned /*i*/, unsigned /*j*/) noexcept {}
+    static constexpr bool op_valid() noexcept { return true; }
+    void revalidate_op() noexcept {}
+
+    void retire(ReclaimNode* n) {
+      n->debug_state = kNodeRetired;
+      n->retire_era = dom_->clock_.load(std::memory_order_acquire);
+      limbo_.push(n);
+      dom_->counters_.on_retire(dom_->cfg_.track_stats);
+      era_tick();
+      if (limbo_.count >= dom_->cfg_.scan_threshold) scan();
+    }
+
+    std::uint64_t on_alloc_era() noexcept {
+      era_tick();
+      return dom_->clock_.load(std::memory_order_acquire);
+    }
+
+    void scan() {
+      snapshot_.clear();
+      dom_->collect_intervals(snapshot_);
+      std::uint64_t freed = 0;
+      ReclaimNode* n = limbo_.take();
+      while (n != nullptr) {
+        ReclaimNode* next = n->smr_next;
+        if (lifetime_reserved(birth_era_of(n), n->retire_era)) {
+          limbo_.push(n);
+        } else {
+          dom_->pool().free(tid_, n, n->alloc_size);
+          ++freed;
+        }
+        n = next;
+      }
+      dom_->counters_.on_free(freed, dom_->cfg_.track_stats);
+    }
+
+    unsigned limbo_size() const noexcept { return limbo_.count; }
+
+   private:
+    friend class IbrDomain;
+
+    bool lifetime_reserved(std::uint64_t birth,
+                           std::uint64_t retire) const noexcept {
+      for (const auto& [lo, hi] : snapshot_) {
+        if (birth <= hi && retire >= lo) return true;
+      }
+      return false;
+    }
+
+    void era_tick() noexcept {
+      if (++tick_ >= dom_->cfg_.era_freq) {
+        tick_ = 0;
+        dom_->clock_.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+
+
+    LimboList limbo_;
+    std::uint64_t upper_cache_ = kIdle;
+    unsigned tick_ = 0;
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> snapshot_;
+  };
+
+  explicit IbrDomain(SmrConfig cfg = {})
+      : cfg_(cfg), pool_(cfg.max_threads), res_(cfg.max_threads) {
+    for (auto& r : res_) {
+      r->lower.store(kIdle, std::memory_order_relaxed);
+      r->upper.store(kIdle, std::memory_order_relaxed);
+    }
+    handles_.reserve(cfg_.max_threads);
+    for (unsigned t = 0; t < cfg_.max_threads; ++t)
+      handles_.push_back(std::make_unique<Handle>(this, t));
+  }
+
+  ~IbrDomain() { drain_all(); }
+
+  Handle& handle(unsigned tid) { return *handles_.at(tid); }
+  const SmrConfig& config() const noexcept { return cfg_; }
+  NodePool& pool() noexcept { return pool_; }
+  std::int64_t pending_nodes() const noexcept {
+    return counters_.pending.load(std::memory_order_relaxed);
+  }
+  const SmrCounters& counters() const noexcept { return counters_; }
+  std::uint64_t era() const noexcept {
+    return clock_.load(std::memory_order_acquire);
+  }
+
+  void collect_intervals(
+      std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const {
+    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+      // upper first, then lower (see the ordering note above).
+      const std::uint64_t hi = res_[t]->upper.load(std::memory_order_acquire);
+      const std::uint64_t lo = res_[t]->lower.load(std::memory_order_acquire);
+      if (lo == kIdle && hi == kIdle) continue;
+      // A torn observation widens conservatively.
+      out.emplace_back(lo == kIdle ? 0 : lo, hi == kIdle ? ~std::uint64_t{0} : hi);
+    }
+  }
+
+ private:
+  friend class Handle;
+
+  struct ReservationData {
+    std::atomic<std::uint64_t> lower{kIdle};
+    std::atomic<std::uint64_t> upper{kIdle};
+  };
+
+  void drain_all() {
+    std::uint64_t freed = 0;
+    for (auto& h : handles_) {
+      ReclaimNode* n = h->limbo_.take();
+      while (n != nullptr) {
+        ReclaimNode* next = n->smr_next;
+        pool_.free(h->tid(), n, n->alloc_size);
+        ++freed;
+        n = next;
+      }
+    }
+    counters_.on_free(freed, cfg_.track_stats);
+  }
+
+  SmrConfig cfg_;
+  NodePool pool_;
+  SmrCounters counters_;
+  std::atomic<std::uint64_t> clock_{1};
+  std::vector<Padded<ReservationData>> res_;
+  std::vector<std::unique_ptr<Handle>> handles_;
+};
+
+}  // namespace scot

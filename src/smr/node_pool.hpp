@@ -1,0 +1,140 @@
+// Type-stable node pool backing every reclamation domain.
+//
+// Purpose (see DESIGN.md §4):
+//  1. *Type stability.*  Memory handed out for nodes is never returned to the
+//     operating system while the domain lives, and the 16-byte allocation
+//     header (birth era) survives free/reuse.  Hyaline-1S relies on this to
+//     read the birth era of a node that may have been concurrently reclaimed.
+//  2. *Scalability.*  The paper benchmarks with mimalloc because glibc malloc
+//     serializes multi-threaded churn; a per-thread free-list pool reproduces
+//     the same thread-local recycling behaviour without external
+//     dependencies.
+//
+// Concurrency contract: shard `tid` is only ever touched by the thread that
+// owns handle `tid`.  Cross-thread frees (Hyaline batches reclaimed by
+// whichever thread drops the last reference) go to the *freeing* thread's
+// shard — memory migrates between shards exactly like mimalloc pages do.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+#include "common/align.hpp"
+#include "smr/reclaim_node.hpp"
+
+namespace scot {
+
+class NodePool {
+ public:
+  static constexpr std::size_t kGranularity = 32;
+  static constexpr std::size_t kNumClasses = 16;  // up to 512-byte cells
+  static constexpr std::size_t kBlockBytes = 256 * 1024;
+
+  explicit NodePool(unsigned shards) {
+    shards_.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i)
+      shards_.push_back(std::make_unique<Padded<Shard>>());
+  }
+
+  NodePool(const NodePool&) = delete;
+  NodePool& operator=(const NodePool&) = delete;
+
+  // Returns a pointer to `size` usable bytes preceded by an AllocHeader.
+  // The caller must store the birth era into the header before publishing
+  // the node.  `size` must fit the largest size class.
+  void* alloc(unsigned tid, std::size_t size) {
+    Shard& s = shard(tid);
+    const std::size_t cls = class_of(size);
+    if (ReclaimNode* n = s.free_lists[cls]) {
+      s.free_lists[cls] = n->smr_next;
+      assert(n->debug_state == kNodeFreed);
+      ++s.reused;
+      return n;
+    }
+    return carve(s, cls);
+  }
+
+  // Returns a node to the freeing thread's shard.  The allocation header is
+  // deliberately left intact (type-stability contract).
+  void free(unsigned tid, void* node, std::size_t size) {
+    Shard& s = shard(tid);
+    const std::size_t cls = class_of(size);
+    auto* n = static_cast<ReclaimNode*>(node);
+    n->debug_state = kNodeFreed;
+    n->smr_next = s.free_lists[cls];
+    s.free_lists[cls] = n;
+    ++s.freed;
+  }
+
+  // --- statistics (tests / introspection; racy snapshots by design) -------
+  std::uint64_t total_block_bytes() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) sum += (*s)->block_bytes;
+    return sum;
+  }
+  std::uint64_t total_reused() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) sum += (*s)->reused;
+    return sum;
+  }
+  std::uint64_t total_carved() const {
+    std::uint64_t sum = 0;
+    for (const auto& s : shards_) sum += (*s)->carved;
+    return sum;
+  }
+
+  static constexpr std::size_t max_node_bytes() {
+    return kNumClasses * kGranularity - sizeof(AllocHeader);
+  }
+
+ private:
+  struct Shard {
+    ReclaimNode* free_lists[kNumClasses] = {};
+    std::vector<std::unique_ptr<std::byte[]>> blocks;
+    std::byte* bump = nullptr;
+    std::size_t bump_left = 0;
+    std::uint64_t block_bytes = 0;
+    std::uint64_t carved = 0;
+    std::uint64_t reused = 0;
+    std::uint64_t freed = 0;
+  };
+
+  Shard& shard(unsigned tid) {
+    assert(tid < shards_.size());
+    return **shards_[tid];
+  }
+
+  static constexpr std::size_t class_of(std::size_t size) {
+    const std::size_t total = size + sizeof(AllocHeader);
+    const std::size_t cls = (total + kGranularity - 1) / kGranularity - 1;
+    assert(cls < kNumClasses);
+    return cls;
+  }
+
+  void* carve(Shard& s, std::size_t cls) {
+    const std::size_t cell = (cls + 1) * kGranularity;
+    if (s.bump_left < cell) {
+      s.blocks.push_back(std::make_unique<std::byte[]>(kBlockBytes));
+      s.bump = s.blocks.back().get();
+      // Cells stay 16-byte aligned: operator new[] returns max-aligned
+      // memory and cell sizes are multiples of 32.
+      s.bump_left = kBlockBytes;
+      s.block_bytes += kBlockBytes;
+    }
+    std::byte* cellp = s.bump;
+    s.bump += cell;
+    s.bump_left -= cell;
+    ++s.carved;
+    auto* hdr = new (cellp) AllocHeader{};
+    hdr->birth_era.store(0, std::memory_order_relaxed);
+    return cellp + sizeof(AllocHeader);
+  }
+
+  std::vector<std::unique_ptr<Padded<Shard>>> shards_;
+};
+
+}  // namespace scot

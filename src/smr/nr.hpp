@@ -1,0 +1,78 @@
+// NR: the "no reclamation" baseline (leak memory).
+//
+// The paper's throughput figures include NR as the practical upper bound for
+// performance: retirement is a counter bump and nothing is ever reclaimed.
+// Interestingly the paper observes that EBR (and others) can *beat* NR when
+// recycling is cheaper than fresh allocation — with this library's pool the
+// same effect reproduces, because NR always takes the carve path while the
+// reclaiming schemes hit their thread-local free lists.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/align.hpp"
+#include "smr/handle_core.hpp"
+#include "smr/node_pool.hpp"
+#include "smr/smr_config.hpp"
+
+namespace scot {
+
+class NoReclaimDomain {
+ public:
+  static constexpr const char* kName = "NR";
+  static constexpr bool kRobust = false;
+
+  class Handle : public HandleCore<NoReclaimDomain, Handle> {
+   public:
+    using Base = HandleCore<NoReclaimDomain, Handle>;
+    Handle(NoReclaimDomain* dom, unsigned tid) : Base(dom, tid) {}
+
+    void begin_op() noexcept {}
+    void end_op() noexcept {}
+
+    template <class P>
+    P protect(const std::atomic<P>& src, unsigned /*idx*/) noexcept {
+      return src.load(std::memory_order_acquire);
+    }
+    template <class T>
+    void publish(T* /*p*/, unsigned /*idx*/) noexcept {}
+    void dup(unsigned /*i*/, unsigned /*j*/) noexcept {}
+
+    static constexpr bool op_valid() noexcept { return true; }
+    void revalidate_op() noexcept {}
+
+    void retire(ReclaimNode* n) noexcept {
+      n->debug_state = kNodeRetired;
+      dom_->counters_.on_retire(dom_->cfg_.track_stats);
+    }
+
+    std::uint64_t on_alloc_era() noexcept { return 0; }
+  };
+
+  explicit NoReclaimDomain(SmrConfig cfg = {})
+      : cfg_(cfg), pool_(cfg.max_threads) {
+    handles_.reserve(cfg_.max_threads);
+    for (unsigned t = 0; t < cfg_.max_threads; ++t)
+      handles_.push_back(std::make_unique<Handle>(this, t));
+  }
+
+  Handle& handle(unsigned tid) { return *handles_.at(tid); }
+  const SmrConfig& config() const noexcept { return cfg_; }
+  NodePool& pool() noexcept { return pool_; }
+  std::int64_t pending_nodes() const noexcept {
+    return counters_.pending.load(std::memory_order_relaxed);
+  }
+  const SmrCounters& counters() const noexcept { return counters_; }
+
+ private:
+  friend class Handle;
+  SmrConfig cfg_;
+  NodePool pool_;
+  SmrCounters counters_;
+  std::vector<std::unique_ptr<Handle>> handles_;
+};
+
+}  // namespace scot

@@ -1,0 +1,62 @@
+// Umbrella header for the reclamation schemes, plus the compile-time concept
+// data structures are written against.
+#pragma once
+
+#include <atomic>
+#include <concepts>
+#include <cstdint>
+
+#include "smr/ebr.hpp"
+#include "smr/he.hpp"
+#include "smr/hp.hpp"
+#include "smr/hyaline.hpp"
+#include "smr/ibr.hpp"
+#include "smr/nr.hpp"
+#include "smr/smr_config.hpp"
+
+namespace scot {
+
+// The policy interface every data structure in src/core is templated over.
+// See DESIGN.md §4: indexed protection maps to real slots for HP/HE and to
+// no-ops for EBR/IBR/Hyaline/NR, so one SCOT implementation serves all
+// schemes.
+template <class D>
+concept SmrDomain = requires(D d, typename D::Handle& h,
+                             const std::atomic<ReclaimNode*>& src,
+                             ReclaimNode* n, unsigned idx) {
+  { D::kName } -> std::convertible_to<const char*>;
+  { D::kRobust } -> std::convertible_to<bool>;
+  { d.handle(idx) } -> std::same_as<typename D::Handle&>;
+  { d.pending_nodes() } -> std::convertible_to<std::int64_t>;
+  h.begin_op();
+  h.end_op();
+  { h.protect(src, idx) } -> std::same_as<ReclaimNode*>;
+  h.publish(n, idx);
+  h.dup(idx, idx);
+  { h.op_valid() } -> std::convertible_to<bool>;
+  h.revalidate_op();
+  h.retire(n);
+};
+
+static_assert(SmrDomain<NoReclaimDomain>);
+static_assert(SmrDomain<EbrDomain>);
+static_assert(SmrDomain<HpDomain>);
+static_assert(SmrDomain<HpOptDomain>);
+static_assert(SmrDomain<HeDomain>);
+static_assert(SmrDomain<IbrDomain>);
+static_assert(SmrDomain<HyalineDomain>);
+
+// RAII guard for an SMR critical section.
+template <class Handle>
+class OpGuard {
+ public:
+  explicit OpGuard(Handle& h) : h_(h) { h_.begin_op(); }
+  ~OpGuard() { h_.end_op(); }
+  OpGuard(const OpGuard&) = delete;
+  OpGuard& operator=(const OpGuard&) = delete;
+
+ private:
+  Handle& h_;
+};
+
+}  // namespace scot

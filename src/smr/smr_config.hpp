@@ -1,0 +1,60 @@
+// Shared configuration knobs and statistics for all reclamation domains.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace scot {
+
+struct SmrConfig {
+  // Capacity: number of handles (threads) the domain serves.  Handle ids are
+  // dense in [0, max_threads).
+  unsigned max_threads = 8;
+
+  // Limbo-list scan frequency: reclamation is attempted once per
+  // `scan_threshold` retire() calls per thread.  The paper calibrates this
+  // to 128 for every scheme (Section 5).
+  unsigned scan_threshold = 128;
+
+  // Global era/epoch advance frequency: the clock ticks once per `era_freq`
+  // allocations (and retirements) per thread.  The paper uses 12x the thread
+  // count; the benchmark harness sets that, the default suits tests.
+  unsigned era_freq = 128;
+
+  // Number of protection indices per thread for slot-based schemes (HP, HE).
+  // The SCOT list needs 4, the SCOT tree needs 5.
+  unsigned slots_per_thread = 8;
+
+  // Hyaline batch capacity; 0 = auto (max_threads + 1, the minimum that
+  // guarantees a distinct member node per reservation slot).
+  unsigned batch_capacity = 0;
+
+  // Maintain the domain-wide pending-node gauge (+1 retire / -1 free).  The
+  // memory-overhead benchmarks sample it; throughput benchmarks may turn it
+  // off.  Reads are exact when quiescent, approximate otherwise.
+  bool track_stats = true;
+};
+
+// Domain-wide counters.  `pending` drives Figures 10-12 (average number of
+// retired-but-not-yet-reclaimed objects).
+struct SmrCounters {
+  std::atomic<std::int64_t> pending{0};
+  std::atomic<std::uint64_t> retired{0};
+  std::atomic<std::uint64_t> reclaimed{0};
+
+  void on_retire(bool track) noexcept {
+    if (track) {
+      pending.fetch_add(1, std::memory_order_relaxed);
+      retired.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  void on_free(std::uint64_t n, bool track) noexcept {
+    if (track && n > 0) {
+      pending.fetch_sub(static_cast<std::int64_t>(n),
+                        std::memory_order_relaxed);
+      reclaimed.fetch_add(n, std::memory_order_relaxed);
+    }
+  }
+};
+
+}  // namespace scot

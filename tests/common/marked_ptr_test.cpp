@@ -1,0 +1,105 @@
+#include "core/marked_ptr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+
+namespace scot {
+namespace {
+
+struct Dummy : ReclaimNode {
+  int x = 0;
+};
+
+using MP = marked_ptr<Dummy>;
+
+TEST(MarkedPtr, DefaultIsNullAndClean) {
+  MP p;
+  EXPECT_EQ(p.ptr(), nullptr);
+  EXPECT_EQ(p.bits(), 0u);
+  EXPECT_FALSE(p.marked());
+  EXPECT_FALSE(p.tagged());
+  EXPECT_FALSE(static_cast<bool>(p));
+}
+
+TEST(MarkedPtr, RoundTripsPointer) {
+  alignas(16) Dummy d;
+  MP p(&d);
+  EXPECT_EQ(p.ptr(), &d);
+  EXPECT_TRUE(static_cast<bool>(p));
+  EXPECT_EQ(p.bits(), 0u);
+}
+
+TEST(MarkedPtr, MarkBitIsIndependentOfPointer) {
+  alignas(16) Dummy d;
+  MP p(&d);
+  MP m = p.with_mark();
+  EXPECT_TRUE(m.marked());
+  EXPECT_TRUE(m.flagged());  // list mark == tree flag
+  EXPECT_FALSE(m.tagged());
+  EXPECT_EQ(m.ptr(), &d);
+  EXPECT_NE(m, p);
+  EXPECT_EQ(m.clean(), p);
+}
+
+TEST(MarkedPtr, TagBitIsIndependentOfMarkBit) {
+  alignas(16) Dummy d;
+  MP t = MP(&d).with_tag();
+  EXPECT_TRUE(t.tagged());
+  EXPECT_FALSE(t.flagged());
+  MP both = t.with_flag();
+  EXPECT_TRUE(both.tagged());
+  EXPECT_TRUE(both.flagged());
+  EXPECT_EQ(both.bits(), kMarkBit | kTagBit);
+  EXPECT_EQ(both.clean().bits(), 0u);
+  EXPECT_EQ(both.ptr(), &d);
+}
+
+TEST(MarkedPtr, WithBitsReplacesBits) {
+  alignas(16) Dummy d;
+  MP p = MP(&d).with_mark();
+  EXPECT_EQ(p.with_bits(kTagBit).bits(), kTagBit);
+  EXPECT_EQ(p.with_bits(0).bits(), 0u);
+}
+
+TEST(MarkedPtr, EqualityComparesRawIncludingBits) {
+  alignas(16) Dummy d;
+  EXPECT_EQ(MP(&d), MP(&d));
+  EXPECT_NE(MP(&d), MP(&d).with_mark());
+  EXPECT_NE(MP(&d).with_tag(), MP(&d).with_mark());
+  EXPECT_EQ(MP(&d).with_mark(), MP(&d, kMarkBit));
+}
+
+TEST(MarkedPtr, FromRawPreservesEverything) {
+  alignas(16) Dummy d;
+  MP p = MP(&d).with_tag();
+  EXPECT_EQ(MP::from_raw(p.raw()), p);
+}
+
+TEST(MarkedPtr, NullWithBitsIsFalseyButKeepsBits) {
+  MP p = MP(nullptr).with_mark();
+  EXPECT_FALSE(static_cast<bool>(p));  // address part is null
+  EXPECT_TRUE(p.marked());
+}
+
+TEST(MarkedPtr, SmrRawStripsBits) {
+  alignas(16) Dummy d;
+  EXPECT_EQ(smr_raw(MP(&d).with_mark().with_tag()),
+            static_cast<ReclaimNode*>(&d));
+  EXPECT_EQ(smr_raw(MP{}), nullptr);
+  EXPECT_EQ(smr_raw(MP(nullptr).with_mark()), nullptr);
+}
+
+TEST(MarkedPtr, AtomicIsLockFree) {
+  std::atomic<MP> a{MP{}};
+  EXPECT_TRUE(a.is_lock_free());
+  alignas(16) Dummy d;
+  MP expected{};
+  EXPECT_TRUE(a.compare_exchange_strong(expected, MP(&d).with_mark()));
+  EXPECT_EQ(a.load().ptr(), &d);
+  EXPECT_TRUE(a.load().marked());
+}
+
+}  // namespace
+}  // namespace scot

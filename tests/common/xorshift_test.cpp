@@ -1,0 +1,59 @@
+#include "common/xorshift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <set>
+
+namespace scot {
+namespace {
+
+TEST(Xoshiro, DeterministicForEqualSeeds) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, AdjacentSeedsDecorrelate) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next() == b.next());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Xoshiro, NextInStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 10ull, 512ull, 1000000007ull}) {
+    for (int i = 0; i < 2000; ++i) {
+      EXPECT_LT(rng.next_in(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, NextInCoversRange) {
+  Xoshiro256 rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 4000; ++i) seen.insert(rng.next_in(16));
+  EXPECT_EQ(seen.size(), 16u) << "all 16 values should appear in 4000 draws";
+}
+
+TEST(Xoshiro, RoughlyUniformBuckets) {
+  Xoshiro256 rng(2024);
+  std::array<int, 8> buckets{};
+  constexpr int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) ++buckets[rng.next_in(8)];
+  for (int b : buckets) {
+    EXPECT_GT(b, kDraws / 8 * 0.9);
+    EXPECT_LT(b, kDraws / 8 * 1.1);
+  }
+}
+
+TEST(Xoshiro, ZeroSeedStillProducesEntropy) {
+  Xoshiro256 rng(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng.next());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+}  // namespace
+}  // namespace scot

@@ -1,0 +1,94 @@
+// Hash map (array of SCOT lists) integration tests.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hpp"
+
+namespace scot {
+namespace {
+
+using Key = std::uint64_t;
+using Val = std::uint64_t;
+
+template <class Smr>
+class HashMapTest : public ::testing::Test {};
+
+TYPED_TEST_SUITE(HashMapTest, test::AllSchemes);
+
+TYPED_TEST(HashMapTest, BasicSemantics) {
+  TypeParam smr(test::small_config());
+  HashMap<Key, Val, TypeParam> map(smr, 16);
+  auto& h = smr.handle(0);
+  EXPECT_EQ(map.bucket_count(), 16u);
+  EXPECT_FALSE(map.contains(h, 1));
+  EXPECT_TRUE(map.insert(h, 1, 100));
+  EXPECT_FALSE(map.insert(h, 1, 200));
+  EXPECT_EQ(map.get(h, 1).value_or(0), 100u);
+  EXPECT_TRUE(map.erase(h, 1));
+  EXPECT_FALSE(map.erase(h, 1));
+  EXPECT_EQ(map.size_unsafe(), 0u);
+}
+
+TYPED_TEST(HashMapTest, KeysSpreadAcrossBuckets) {
+  TypeParam smr(test::small_config());
+  HashMap<Key, Val, TypeParam> map(smr, 8);
+  auto& h = smr.handle(0);
+  for (Key k = 0; k < 400; ++k) ASSERT_TRUE(map.insert(h, k, k));
+  EXPECT_EQ(map.size_unsafe(), 400u);
+  for (Key k = 0; k < 400; ++k) {
+    ASSERT_TRUE(map.contains(h, k));
+    ASSERT_EQ(map.get(h, k).value_or(~0ull), k);
+  }
+}
+
+TYPED_TEST(HashMapTest, SingleBucketDegeneratesToList) {
+  // With one bucket every key collides: the map must still be a correct set
+  // (this exercises SCOT list behaviour through the map adapter).
+  TypeParam smr(test::small_config());
+  HashMap<Key, Val, TypeParam> map(smr, 1);
+  auto& h = smr.handle(0);
+  for (Key k = 0; k < 100; ++k) ASSERT_TRUE(map.insert(h, k, k));
+  for (Key k = 0; k < 100; k += 2) ASSERT_TRUE(map.erase(h, k));
+  for (Key k = 0; k < 100; ++k) EXPECT_EQ(map.contains(h, k), k % 2 == 1);
+}
+
+TYPED_TEST(HashMapTest, ConcurrentMixedChurnCoherence) {
+  TypeParam smr(test::small_config(4));
+  HashMap<Key, Val, TypeParam> map(smr, 32);
+  test::run_threads(4, [&](unsigned tid) {
+    auto& h = smr.handle(tid);
+    Xoshiro256 rng(tid + 1);
+    for (int i = 0; i < 30000; ++i) {
+      const Key k = rng.next_in(256);
+      switch (rng.next_in(4)) {
+        case 0:
+        case 1:
+          map.insert(h, k, k);
+          break;
+        case 2:
+          map.erase(h, k);
+          break;
+        default:
+          map.contains(h, k);
+          break;
+      }
+    }
+  });
+  auto& h = smr.handle(0);
+  for (Key k = 0; k < 256; ++k) {
+    { const bool was_present = map.contains(h, k); const bool erased = map.erase(h, k); EXPECT_EQ(was_present, erased) << "key " << k; }
+  }
+  EXPECT_EQ(map.size_unsafe(), 0u);
+}
+
+TYPED_TEST(HashMapTest, WaitFreeTraitsCompose) {
+  TypeParam smr(test::small_config(2));
+  HashMap<Key, Val, TypeParam, HarrisListWaitFreeTraits> map(smr, 4);
+  auto& h = smr.handle(0);
+  for (Key k = 0; k < 64; ++k) ASSERT_TRUE(map.insert(h, k, k));
+  for (Key k = 0; k < 64; ++k) EXPECT_TRUE(map.contains(h, k));
+  for (Key k = 0; k < 64; ++k) ASSERT_TRUE(map.erase(h, k));
+  EXPECT_EQ(map.size_unsafe(), 0u);
+}
+
+}  // namespace
+}  // namespace scot

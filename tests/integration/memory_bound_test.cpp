@@ -1,0 +1,137 @@
+// Theorem 1 of the paper: with HP, a SCOT structure's total unreclaimed
+// memory is O(|D| + N) — concretely at most H*N protected nodes plus N*R
+// limbo slack — even while traversals sit inside dangerous zones.  The
+// companion EBR runs demonstrate the contrast the paper draws in Figures
+// 10-12 (EBR's relaxed reclamation keeps far more garbage around).
+#include <gtest/gtest.h>
+
+#include "tests/test_util.hpp"
+
+namespace scot {
+namespace {
+
+using Key = std::uint64_t;
+using Val = std::uint64_t;
+
+template <class Smr, class DS>
+std::int64_t churn_pending(unsigned threads, int iters, Key range) {
+  auto cfg = test::small_config(threads);
+  cfg.scan_threshold = 64;
+  Smr smr(cfg);
+  std::int64_t peak = 0;
+  {
+    DS ds(smr);
+    std::atomic<std::int64_t> observed_peak{0};
+    test::run_threads(threads, [&](unsigned tid) {
+      auto& h = smr.handle(tid);
+      Xoshiro256 rng(tid + 29);
+      for (int i = 0; i < iters; ++i) {
+        const Key k = rng.next_in(range);
+        if (rng.next_in(2)) {
+          ds.insert(h, k, k);
+        } else {
+          ds.erase(h, k);
+        }
+        if ((i & 1023) == 0) {
+          std::int64_t p = smr.pending_nodes();
+          std::int64_t cur = observed_peak.load();
+          while (p > cur && !observed_peak.compare_exchange_weak(cur, p)) {
+          }
+        }
+      }
+    });
+    peak = observed_peak.load();
+  }
+  return peak;
+}
+
+TEST(MemoryBound, HpListPendingStaysWithinTheorem1Bound) {
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kSlots = 8;   // H
+  constexpr unsigned kScan = 64;   // R
+  const std::int64_t bound = kSlots * kThreads + kThreads * kScan;
+  const std::int64_t peak = churn_pending<HpDomain, HarrisList<Key, Val, HpDomain>>(
+      kThreads, 60000, 64);
+  EXPECT_LE(peak, 2 * bound) << "peak pending exceeded the H*N + N*R bound "
+                                "(x2 slack for sampling jitter)";
+}
+
+TEST(MemoryBound, HpTreePendingStaysWithinTheorem1Bound) {
+  constexpr unsigned kThreads = 4;
+  const std::int64_t bound = 8 * kThreads + kThreads * 64;
+  const std::int64_t peak =
+      churn_pending<HpDomain, NatarajanMittalTree<Key, Val, HpDomain>>(
+          kThreads, 60000, 64);
+  EXPECT_LE(peak, 2 * bound);
+}
+
+TEST(MemoryBound, EbrKeepsMoreGarbageThanHpUnderSameChurn) {
+  const std::int64_t hp_peak =
+      churn_pending<HpDomain, HarrisList<Key, Val, HpDomain>>(4, 60000, 64);
+  const std::int64_t ebr_peak =
+      churn_pending<EbrDomain, HarrisList<Key, Val, EbrDomain>>(4, 60000, 64);
+  // The paper's Figure 10 ordering: HP lowest, EBR highest.  On 2 cores the
+  // gap is narrower but the ordering is stable.
+  EXPECT_GE(ebr_peak, hp_peak)
+      << "EBR should never keep less garbage than HP under equal churn";
+}
+
+TEST(MemoryBound, StalledTraverserDoesNotUnboundHpMemory) {
+  // A thread parked mid-operation (holding hazard pointers over a marked
+  // chain) must not prevent HP from reclaiming unrelated churn.
+  auto cfg = test::small_config(3);
+  cfg.scan_threshold = 64;
+  HpDomain smr(cfg);
+  HarrisList<Key, Val, HpDomain> list(smr);
+  auto& h0 = smr.handle(0);
+  for (Key k = 0; k < 32; ++k) ASSERT_TRUE(list.insert(h0, k, k));
+  // Simulate the stalled traverser: protections held, op never ends.
+  auto& stalled = smr.handle(2);
+  stalled.begin_op();
+  std::atomic<marked_ptr<ListNode<Key, Val>>>* fake = nullptr;
+  (void)fake;
+  // (Holding live protections is exercised via the SMR-layer robustness
+  // tests; here the stalled thread simply keeps its op open.)
+  test::run_threads(2, [&](unsigned tid) {
+    auto& h = smr.handle(tid);
+    Xoshiro256 rng(tid);
+    for (int i = 0; i < 40000; ++i) {
+      const Key k = rng.next_in(64);
+      if (rng.next_in(2)) {
+        list.insert(h, k, k);
+      } else {
+        list.erase(h, k);
+      }
+    }
+  });
+  EXPECT_LT(smr.pending_nodes(), 1024)
+      << "HP must stay bounded with a stalled participant";
+  stalled.end_op();
+}
+
+TEST(MemoryBound, PendingDrainsToNearZeroAtQuiescence) {
+  auto cfg = test::small_config(4);
+  cfg.scan_threshold = 16;
+  HpDomain smr(cfg);
+  {
+    HarrisList<Key, Val, HpDomain> list(smr);
+    test::run_threads(4, [&](unsigned tid) {
+      auto& h = smr.handle(tid);
+      Xoshiro256 rng(tid);
+      for (int i = 0; i < 20000; ++i) {
+        const Key k = rng.next_in(64);
+        if (rng.next_in(2)) {
+          list.insert(h, k, k);
+        } else {
+          list.erase(h, k);
+        }
+      }
+    });
+    // Force residual limbo lists through scans.
+    for (unsigned t = 0; t < 4; ++t) smr.handle(t).scan();
+    EXPECT_LT(smr.pending_nodes(), 4 * 16 + 64);
+  }
+}
+
+}  // namespace
+}  // namespace scot

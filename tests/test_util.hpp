@@ -1,0 +1,59 @@
+// Shared helpers for the SCOT test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/xorshift.hpp"
+#include "core/core.hpp"
+
+namespace scot::test {
+
+using AllSchemes =
+    ::testing::Types<NoReclaimDomain, EbrDomain, HpDomain, HpOptDomain,
+                     HeDomain, IbrDomain, HyalineDomain>;
+
+using ReclaimingSchemes = ::testing::Types<EbrDomain, HpDomain, HpOptDomain,
+                                           HeDomain, IbrDomain, HyalineDomain>;
+
+using RobustSchemes =
+    ::testing::Types<HpDomain, HpOptDomain, HeDomain, IbrDomain, HyalineDomain>;
+
+inline SmrConfig small_config(unsigned threads = 4) {
+  SmrConfig cfg;
+  cfg.max_threads = threads;
+  cfg.scan_threshold = 16;
+  cfg.era_freq = 8;
+  return cfg;
+}
+
+// Runs `fn(tid)` on `threads` std::threads and joins them.
+template <class F>
+void run_threads(unsigned threads, F&& fn) {
+  std::vector<std::thread> ts;
+  ts.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) ts.emplace_back(fn, t);
+  for (auto& t : ts) t.join();
+}
+
+// A dummy reclaimable node for SMR-layer tests.
+struct TestNode : ReclaimNode {
+  std::uint64_t payload;
+  explicit TestNode(std::uint64_t p = 0) : payload(p) {}
+};
+
+// Churn helper: allocate-and-retire `n` nodes through `h` to force scans and
+// era advancement.
+template <class Handle>
+void churn_retire(Handle& h, int n) {
+  for (int i = 0; i < n; ++i) {
+    auto* node = h.template alloc<TestNode>(static_cast<std::uint64_t>(i));
+    h.retire(node);
+  }
+}
+
+}  // namespace scot::test
