@@ -10,10 +10,15 @@
 //        listhm  — Harris-Michael list (baseline)
 //        tree    — Natarajan-Mittal tree with SCOT
 //        hash    — hash map over SCOT lists
+//        skip    — skip list, Fraser-style traversal with SCOT
+//        skiphs  — skip list, Herlihy-Shavit eager unlink (baseline)
 // Schemes: NR EBR HP HPopt HE IBR HLN
+//
+// Parsing lives in src/bench/options.hpp (parse_cli) so it is unit-testable;
+// this file only reports the result.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <string>
 
 #include "bench/options.hpp"
 #include "bench/runner.hpp"
@@ -21,66 +26,28 @@
 using namespace scot::bench;
 
 static void usage(const char* argv0, int code) {
-  std::fprintf(
-      code == 0 ? stdout : stderr,
-      "usage: %s <listlf|listwf|listhm|tree|hash> <seconds> <keyrange> "
-      "<runs> <read%%> <ins%%> <del%%> <NR|EBR|HP|HPopt|HE|IBR|HLN> "
-      "<threads>\n"
-      "e.g.:  %s listlf 2 512 1 50 25 25 EBR 4\n",
-      argv0, argv0);
+  std::fprintf(code == 0 ? stdout : stderr,
+               "usage: %s %s\n"
+               "e.g.:  %s listlf 2 512 1 50 25 25 EBR 4\n",
+               argv0, kCliUsage, argv0);
   std::exit(code);
 }
 
-static void usage(const char* argv0) { usage(argv0, 2); }
-
 int main(int argc, char** argv) {
   if (argc == 1) usage(argv[0], 0);  // bare run: self-document, succeed
-  if (argc != 10) usage(argv[0]);
-  CaseConfig cfg;
 
-  if (!std::strcmp(argv[1], "listlf")) {
-    cfg.structure = StructureId::kHList;
-  } else if (!std::strcmp(argv[1], "listwf")) {
-    cfg.structure = StructureId::kHListWF;
-  } else if (!std::strcmp(argv[1], "listhm")) {
-    cfg.structure = StructureId::kHMList;
-  } else if (!std::strcmp(argv[1], "tree")) {
-    cfg.structure = StructureId::kNMTree;
-  } else if (!std::strcmp(argv[1], "hash")) {
-    cfg.structure = StructureId::kHashMap;
-  } else {
-    usage(argv[0]);
+  std::string error;
+  const auto cfg = parse_cli(argc, argv, &error);
+  if (!cfg) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+    usage(argv[0], 2);
   }
 
-  cfg.millis = std::atoi(argv[2]) * 1000;
-  cfg.key_range = std::strtoull(argv[3], nullptr, 10);
-  cfg.runs = static_cast<unsigned>(std::atoi(argv[4]));
-  cfg.read_pct = std::atoi(argv[5]);
-  cfg.insert_pct = std::atoi(argv[6]);
-  cfg.delete_pct = std::atoi(argv[7]);
-
-  bool found = false;
-  for (SchemeId s : kAllSchemes) {
-    if (!std::strcmp(argv[8], scheme_name(s))) {
-      cfg.scheme = s;
-      found = true;
-    }
-  }
-  if (!found) usage(argv[0]);
-  cfg.threads = static_cast<unsigned>(std::atoi(argv[9]));
-  cfg.sample_memory = true;
-
-  if (cfg.millis <= 0 || cfg.key_range == 0 || cfg.runs == 0 ||
-      cfg.threads == 0 ||
-      cfg.read_pct + cfg.insert_pct + cfg.delete_pct != 100) {
-    usage(argv[0]);
-  }
-
-  const CaseResult r = run_case(cfg);
+  const CaseResult r = run_case(*cfg);
   std::printf("structure=%s scheme=%s threads=%u range=%llu mix=%d/%d/%d\n",
-              structure_name(cfg.structure), scheme_name(cfg.scheme),
-              cfg.threads, static_cast<unsigned long long>(cfg.key_range),
-              cfg.read_pct, cfg.insert_pct, cfg.delete_pct);
+              structure_name(cfg->structure), scheme_name(cfg->scheme),
+              cfg->threads, static_cast<unsigned long long>(cfg->key_range),
+              cfg->read_pct, cfg->insert_pct, cfg->delete_pct);
   std::printf("ops=%llu seconds=%.3f throughput=%.3f Mops/s\n",
               static_cast<unsigned long long>(r.total_ops), r.seconds,
               r.mops);

@@ -1,8 +1,11 @@
 // Benchmark-harness configuration shared by every figure/table binary.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+#include <limits>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -50,6 +53,25 @@ inline const char* structure_name(StructureId s) {
   return "?";
 }
 
+// Reverse lookups for the paper-artifact CLI spellings (Appendix A.5).
+inline std::optional<SchemeId> scheme_from_name(std::string_view name) {
+  for (SchemeId s : kAllSchemes) {
+    if (name == scheme_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+inline std::optional<StructureId> structure_from_mode(std::string_view mode) {
+  if (mode == "listlf") return StructureId::kHList;
+  if (mode == "listwf") return StructureId::kHListWF;
+  if (mode == "listhm") return StructureId::kHMList;
+  if (mode == "tree") return StructureId::kNMTree;
+  if (mode == "hash") return StructureId::kHashMap;
+  if (mode == "skip") return StructureId::kSkipList;
+  if (mode == "skiphs") return StructureId::kSkipListEager;
+  return std::nullopt;
+}
+
 struct CaseConfig {
   StructureId structure = StructureId::kHList;
   SchemeId scheme = SchemeId::kEBR;
@@ -74,6 +96,94 @@ struct CaseResult {
   std::uint64_t restarts = 0;
   std::uint64_t recoveries = 0;
 };
+
+// --- paper-artifact CLI (Appendix A.5) ------------------------------------
+//
+//     <mode> <seconds> <keyrange> <runs> <read%> <ins%> <del%> <SCHEME>
+//     <threads>
+//
+// Modes: listlf listwf listhm tree hash skip skiphs.  Parsing is strict:
+// every numeric field must be a whole decimal number, the workload mix must
+// sum to 100, and seconds/keyrange/runs/threads must be positive.
+
+inline constexpr const char* kCliUsage =
+    "<listlf|listwf|listhm|tree|hash|skip|skiphs> <seconds> <keyrange> "
+    "<runs> <read%> <ins%> <del%> <NR|EBR|HP|HPopt|HE|IBR|HLN> <threads>";
+
+// Whole-string decimal parse; rejects "", " 42", "4x", "1.5", overflow.
+inline bool parse_decimal(std::string_view sv, long long& out) {
+  if (sv.empty()) return false;
+  if (sv.front() != '-' && (sv.front() < '0' || sv.front() > '9'))
+    return false;  // strtoll would silently skip leading whitespace
+  const std::string s(sv);
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
+}
+
+// Parses `argv[1..9]` into a CaseConfig (argv[0] is the program name, as in
+// main()).  Returns nullopt on malformed input; `error`, when given,
+// receives a one-line reason.
+inline std::optional<CaseConfig> parse_cli(int argc, const char* const* argv,
+                                           std::string* error = nullptr) {
+  const auto fail = [error](std::string msg) -> std::optional<CaseConfig> {
+    if (error) *error = std::move(msg);
+    return std::nullopt;
+  };
+  if (argc != 10) return fail("expected exactly 9 arguments");
+
+  CaseConfig cfg;
+  const auto structure = structure_from_mode(argv[1]);
+  if (!structure) return fail(std::string("unknown mode '") + argv[1] + "'");
+  cfg.structure = *structure;
+
+  // Upper bounds guard the narrowing casts below: cfg.millis is an int and
+  // cfg.runs/cfg.threads are unsigned, so "positive" alone is not enough.
+  // Threads get a much tighter cap: every domain allocates per-thread state
+  // arrays sized by max_threads, so a huge-but-representable count is a
+  // memory bomb rather than merely slow.
+  constexpr long long kMaxSeconds = std::numeric_limits<int>::max() / 1000;
+  constexpr long long kMaxUnsigned = std::numeric_limits<unsigned>::max();
+  constexpr long long kMaxThreads = 4096;
+
+  long long seconds, range, runs, read, ins, del, threads;
+  if (!parse_decimal(argv[2], seconds) || seconds <= 0 ||
+      seconds > kMaxSeconds)
+    return fail(std::string("bad <seconds> '") + argv[2] + "'");
+  if (!parse_decimal(argv[3], range) || range <= 0)
+    return fail(std::string("bad <keyrange> '") + argv[3] + "'");
+  if (!parse_decimal(argv[4], runs) || runs <= 0 || runs > kMaxUnsigned)
+    return fail(std::string("bad <runs> '") + argv[4] + "'");
+  if (!parse_decimal(argv[5], read) || read < 0 || read > 100)
+    return fail(std::string("bad <read%> '") + argv[5] + "'");
+  if (!parse_decimal(argv[6], ins) || ins < 0 || ins > 100)
+    return fail(std::string("bad <ins%> '") + argv[6] + "'");
+  if (!parse_decimal(argv[7], del) || del < 0 || del > 100)
+    return fail(std::string("bad <del%> '") + argv[7] + "'");
+  if (read + ins + del != 100)
+    return fail("workload mix <read%>+<ins%>+<del%> must sum to 100");
+
+  const auto scheme = scheme_from_name(argv[8]);
+  if (!scheme) return fail(std::string("unknown scheme '") + argv[8] + "'");
+  cfg.scheme = *scheme;
+
+  if (!parse_decimal(argv[9], threads) || threads <= 0 ||
+      threads > kMaxThreads)
+    return fail(std::string("bad <threads> '") + argv[9] + "'");
+
+  cfg.millis = static_cast<int>(seconds * 1000);
+  cfg.key_range = static_cast<std::uint64_t>(range);
+  cfg.runs = static_cast<unsigned>(runs);
+  cfg.read_pct = static_cast<int>(read);
+  cfg.insert_pct = static_cast<int>(ins);
+  cfg.delete_pct = static_cast<int>(del);
+  cfg.threads = static_cast<unsigned>(threads);
+  cfg.sample_memory = true;
+  return cfg;
+}
 
 // --- environment knobs so the figure binaries scale to the host -----------
 // SCOT_BENCH_MS        per-cell duration in milliseconds (default `def_ms`)

@@ -1,0 +1,192 @@
+// Unit tests for the bench-harness option layer (src/bench/options.hpp):
+// CaseConfig defaults, scheme/structure name resolution, and strict
+// rejection of malformed paper-CLI argument vectors.  bench_cli.cpp is a
+// thin shell around parse_cli(), so this is the direct coverage the CLI
+// previously only got by running the binary.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/options.hpp"
+
+namespace scot::bench {
+namespace {
+
+// Builds argc/argv the way main() sees them: argv[0] is the program name.
+std::optional<CaseConfig> parse(std::vector<const char*> args,
+                                std::string* error = nullptr) {
+  args.insert(args.begin(), "bench_cli");
+  return parse_cli(static_cast<int>(args.size()), args.data(), error);
+}
+
+const std::vector<const char*> kGoodArgs = {"listlf", "2",  "512", "1", "50",
+                                            "25",     "25", "EBR", "4"};
+
+TEST(Options, CaseConfigDefaultsMatchPaperHeadline) {
+  const CaseConfig cfg;
+  EXPECT_EQ(cfg.structure, StructureId::kHList);
+  EXPECT_EQ(cfg.scheme, SchemeId::kEBR);
+  EXPECT_EQ(cfg.threads, 1u);
+  EXPECT_EQ(cfg.key_range, 512u);
+  EXPECT_EQ(cfg.read_pct, 50);
+  EXPECT_EQ(cfg.insert_pct, 25);
+  EXPECT_EQ(cfg.delete_pct, 25);
+  EXPECT_EQ(cfg.millis, 300);
+  EXPECT_FALSE(cfg.sample_memory);
+  EXPECT_EQ(cfg.runs, 1u);
+  EXPECT_EQ(cfg.hash_buckets, 0u);
+}
+
+TEST(Options, SchemeNamesRoundTrip) {
+  for (SchemeId s : kAllSchemes) {
+    const auto back = scheme_from_name(scheme_name(s));
+    ASSERT_TRUE(back.has_value()) << scheme_name(s);
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_FALSE(scheme_from_name("QSBR").has_value());
+  EXPECT_FALSE(scheme_from_name("ebr").has_value()) << "names are case-exact";
+  EXPECT_FALSE(scheme_from_name("").has_value());
+}
+
+TEST(Options, StructureModesResolve) {
+  EXPECT_EQ(structure_from_mode("listlf"), StructureId::kHList);
+  EXPECT_EQ(structure_from_mode("listwf"), StructureId::kHListWF);
+  EXPECT_EQ(structure_from_mode("listhm"), StructureId::kHMList);
+  EXPECT_EQ(structure_from_mode("tree"), StructureId::kNMTree);
+  EXPECT_EQ(structure_from_mode("hash"), StructureId::kHashMap);
+  EXPECT_EQ(structure_from_mode("skip"), StructureId::kSkipList);
+  EXPECT_EQ(structure_from_mode("skiphs"), StructureId::kSkipListEager);
+  EXPECT_FALSE(structure_from_mode("queue").has_value());
+  EXPECT_FALSE(structure_from_mode("").has_value());
+}
+
+TEST(Options, StructureNamesAreDistinct) {
+  const StructureId all[] = {
+      StructureId::kHMList,  StructureId::kHList,    StructureId::kHListWF,
+      StructureId::kNMTree,  StructureId::kHashMap,  StructureId::kSkipList,
+      StructureId::kSkipListEager};
+  for (StructureId a : all) {
+    for (StructureId b : all) {
+      if (a != b) {
+        EXPECT_STRNE(structure_name(a), structure_name(b));
+      }
+    }
+  }
+}
+
+TEST(Options, ParseCliAcceptsThePaperExample) {
+  std::string error;
+  const auto cfg = parse(kGoodArgs, &error);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  EXPECT_EQ(cfg->structure, StructureId::kHList);
+  EXPECT_EQ(cfg->scheme, SchemeId::kEBR);
+  EXPECT_EQ(cfg->millis, 2000);
+  EXPECT_EQ(cfg->key_range, 512u);
+  EXPECT_EQ(cfg->runs, 1u);
+  EXPECT_EQ(cfg->read_pct, 50);
+  EXPECT_EQ(cfg->insert_pct, 25);
+  EXPECT_EQ(cfg->delete_pct, 25);
+  EXPECT_EQ(cfg->threads, 4u);
+  EXPECT_TRUE(cfg->sample_memory) << "the CLI always samples memory";
+}
+
+TEST(Options, ParseCliAcceptsEverySchemeAndMode) {
+  for (SchemeId s : kAllSchemes) {
+    for (const char* mode :
+         {"listlf", "listwf", "listhm", "tree", "hash", "skip", "skiphs"}) {
+      auto args = kGoodArgs;
+      args[0] = mode;
+      args[7] = scheme_name(s);
+      EXPECT_TRUE(parse(args).has_value())
+          << mode << " under " << scheme_name(s);
+    }
+  }
+}
+
+TEST(Options, ParseCliRejectsWrongArity) {
+  std::string error;
+  EXPECT_FALSE(parse({}, &error).has_value());
+  EXPECT_FALSE(parse({"listlf"}, &error).has_value());
+  auto extra = kGoodArgs;
+  extra.push_back("surplus");
+  EXPECT_FALSE(parse(extra, &error).has_value());
+  EXPECT_NE(error.find("9 arguments"), std::string::npos) << error;
+}
+
+TEST(Options, ParseCliRejectsUnknownModeAndScheme) {
+  auto bad_mode = kGoodArgs;
+  bad_mode[0] = "deque";
+  std::string error;
+  EXPECT_FALSE(parse(bad_mode, &error).has_value());
+  EXPECT_NE(error.find("unknown mode"), std::string::npos) << error;
+
+  auto bad_scheme = kGoodArgs;
+  bad_scheme[7] = "RCU";
+  EXPECT_FALSE(parse(bad_scheme, &error).has_value());
+  EXPECT_NE(error.find("unknown scheme"), std::string::npos) << error;
+}
+
+TEST(Options, ParseCliRejectsMalformedNumbers) {
+  // One malformed numeric field at a time; index into kGoodArgs.
+  const struct { int index; const char* value; } cases[] = {
+      {1, "abc"},   // seconds not a number
+      {1, "2x"},    // trailing garbage
+      {1, "0"},     // zero duration
+      {1, "-1"},    // negative duration
+      {2, "1.5"},   // fractional keyrange
+      {2, "0"},     // zero keyrange
+      {2, ""},      // empty keyrange
+      {3, "0"},     // zero runs
+      {4, "101"},   // read% out of range
+      {4, "-5"},    // negative read%
+      {8, "0"},     // zero threads
+      {8, ""},      // empty threads
+      // Values that pass "positive" but would wrap the narrowing casts or
+      // blow up per-thread state allocation.
+      {1, "3000000"},     // seconds*1000 would overflow int millis
+      {3, "4294967296"},  // runs > UINT_MAX would truncate to 0
+      {8, "4097"},        // threads above the 4096 sanity cap
+      {8, "4294967295"},  // UINT_MAX threads: representable memory bomb
+  };
+  for (const auto& c : cases) {
+    auto args = kGoodArgs;
+    args[static_cast<std::size_t>(c.index)] = c.value;
+    std::string error;
+    EXPECT_FALSE(parse(args, &error).has_value())
+        << "index " << c.index << " value '" << c.value << "' parsed OK";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Options, ParseCliRejectsMixNotSummingTo100) {
+  auto args = kGoodArgs;
+  args[4] = "50";
+  args[5] = "30";
+  args[6] = "30";
+  std::string error;
+  EXPECT_FALSE(parse(args, &error).has_value());
+  EXPECT_NE(error.find("sum to 100"), std::string::npos) << error;
+
+  args[4] = "90";
+  args[5] = "5";
+  args[6] = "5";
+  EXPECT_TRUE(parse(args).has_value());
+}
+
+TEST(Options, ParseDecimalIsStrict) {
+  long long v = -1;
+  EXPECT_TRUE(parse_decimal("42", v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(parse_decimal("-7", v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(parse_decimal("", v));
+  EXPECT_FALSE(parse_decimal(" 42", v));
+  EXPECT_FALSE(parse_decimal("42 ", v));
+  EXPECT_FALSE(parse_decimal("0x10", v));
+  EXPECT_FALSE(parse_decimal("99999999999999999999999999", v)) << "overflow";
+}
+
+}  // namespace
+}  // namespace scot::bench

@@ -50,7 +50,8 @@ TYPED_TEST(ListConcurrentTest, DisjointInsertsAllPresentHL) {
 template <class List, class Smr>
 void same_key_races(Smr& smr, unsigned threads) {
   List list(smr);
-  for (int round = 0; round < 200; ++round) {
+  const int rounds = test::scaled_iters(200);
+  for (int round = 0; round < rounds; ++round) {
     std::atomic<int> ins_wins{0}, del_wins{0};
     test::run_threads(threads, [&](unsigned tid) {
       auto& h = smr.handle(tid);
@@ -114,22 +115,24 @@ void churn_then_drain(Smr& smr, unsigned threads, Key range, int iters) {
 
 TYPED_TEST(ListConcurrentTest, TinyRangeChurnCoherenceHM) {
   TypeParam smr(test::small_config(8));
-  churn_then_drain<HarrisMichaelList<Key, Val, TypeParam>>(smr, 8, 12, 40000);
+  churn_then_drain<HarrisMichaelList<Key, Val, TypeParam>>(
+      smr, 8, 12, test::scaled_iters(40000));
 }
 TYPED_TEST(ListConcurrentTest, TinyRangeChurnCoherenceHL) {
   TypeParam smr(test::small_config(8));
-  churn_then_drain<HarrisList<Key, Val, TypeParam>>(smr, 8, 12, 40000);
+  churn_then_drain<HarrisList<Key, Val, TypeParam>>(smr, 8, 12,
+                                                    test::scaled_iters(40000));
 }
 TYPED_TEST(ListConcurrentTest, TinyRangeChurnCoherenceHLSimple) {
   TypeParam smr(test::small_config(8));
   churn_then_drain<HarrisList<Key, Val, TypeParam, HarrisListSimpleTraits>>(
-      smr, 8, 12, 40000);
+      smr, 8, 12, test::scaled_iters(40000));
 }
 TYPED_TEST(ListConcurrentTest, TinyRangeChurnCoherenceHLNoRecovery) {
   TypeParam smr(test::small_config(8));
   churn_then_drain<
-      HarrisList<Key, Val, TypeParam, HarrisListNoRecoveryTraits>>(smr, 8, 12,
-                                                                   40000);
+      HarrisList<Key, Val, TypeParam, HarrisListNoRecoveryTraits>>(
+      smr, 8, 12, test::scaled_iters(40000));
 }
 
 TYPED_TEST(ListConcurrentTest, ReadersNeverObserveErasedThenPresentKey) {
@@ -144,7 +147,8 @@ TYPED_TEST(ListConcurrentTest, ReadersNeverObserveErasedThenPresentKey) {
     auto& h = smr.handle(tid);
     if (tid == 0) {
       Xoshiro256 rng(3);
-      for (int i = 0; i < 60000; ++i) {
+      const int iters = test::scaled_iters(60000);
+      for (int i = 0; i < iters; ++i) {
         const Key k = 490 + rng.next_in(20);
         if (k == 500) continue;
         if (rng.next_in(2)) {
@@ -173,7 +177,7 @@ TYPED_TEST(ListConcurrentTest, RestartCountersBehaveLikeTable2) {
   HarrisMichaelList<Key, Val, TypeParam> hm(smr1);
   HarrisList<Key, Val, TypeParam> hl(smr2);
 
-  constexpr int kIters = 30000;
+  const int kIters = test::scaled_iters(30000);
   auto workload = [&](auto& list, auto& smr) {
     test::run_threads(8, [&](unsigned tid) {
       auto& h = smr.handle(tid);

@@ -50,7 +50,8 @@ TYPED_TEST(SkipListTest, ManyKeysMirrorReferenceSet) {
   auto& h = smr.handle(0);
   std::set<Key> ref;
   Xoshiro256 rng(77);
-  for (int i = 0; i < 20000; ++i) {
+  const int iters = test::scaled_iters(20000);
+  for (int i = 0; i < iters; ++i) {
     const Key k = rng.next_in(300);
     if (rng.next_in(2)) {
       ASSERT_EQ(sl.insert(h, k, k), ref.insert(k).second) << "step " << i;
@@ -90,7 +91,8 @@ TYPED_TEST(SkipListTest, DisjointConcurrentInserts) {
 TYPED_TEST(SkipListTest, SameKeyRaces) {
   TypeParam smr(test::small_config(4));
   SkipList<Key, Val, TypeParam> sl(smr);
-  for (int round = 0; round < 100; ++round) {
+  const int rounds = test::scaled_iters(100);
+  for (int round = 0; round < rounds; ++round) {
     std::atomic<int> ins{0}, del{0};
     test::run_threads(4, [&](unsigned tid) {
       if (sl.insert(smr.handle(tid), 33, tid)) ins.fetch_add(1);
@@ -137,18 +139,20 @@ void churn_then_drain_sl(Smr& smr, unsigned threads, Key range, int iters) {
 
 TYPED_TEST(SkipListTest, TinyRangeChurnCoherenceScot) {
   TypeParam smr(test::small_config(8));
-  churn_then_drain_sl<SkipList<Key, Val, TypeParam>>(smr, 8, 12, 25000);
+  churn_then_drain_sl<SkipList<Key, Val, TypeParam>>(smr, 8, 12,
+                                                     test::scaled_iters(25000));
 }
 
 TYPED_TEST(SkipListTest, TinyRangeChurnCoherenceEager) {
   TypeParam smr(test::small_config(8));
   churn_then_drain_sl<SkipList<Key, Val, TypeParam, SkipListEagerTraits>>(
-      smr, 8, 12, 25000);
+      smr, 8, 12, test::scaled_iters(25000));
 }
 
 TYPED_TEST(SkipListTest, MidRangeChurnCoherence) {
   TypeParam smr(test::small_config(4));
-  churn_then_drain_sl<SkipList<Key, Val, TypeParam>>(smr, 4, 512, 25000);
+  churn_then_drain_sl<SkipList<Key, Val, TypeParam>>(smr, 4, 512,
+                                                     test::scaled_iters(25000));
 }
 
 TYPED_TEST(SkipListTest, StableKeysSurviveChurn) {
@@ -161,7 +165,8 @@ TYPED_TEST(SkipListTest, StableKeysSurviveChurn) {
     auto& h = smr.handle(tid);
     Xoshiro256 rng(tid);
     if (tid == 0) {
-      for (int i = 0; i < 30000; ++i) {
+      const int iters = test::scaled_iters(30000);
+      for (int i = 0; i < iters; ++i) {
         const Key k = rng.next_in(64) * 2 + 1;
         if (rng.next_in(2)) {
           sl.insert(h, k, k);

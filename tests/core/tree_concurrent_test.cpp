@@ -54,7 +54,8 @@ TYPED_TEST(TreeConcurrentTest, DisjointErasesAllGone) {
 TYPED_TEST(TreeConcurrentTest, SameKeyEraseExactlyOneWins) {
   TypeParam smr(test::small_config(4));
   NatarajanMittalTree<Key, Val, TypeParam> tree(smr);
-  for (int round = 0; round < 200; ++round) {
+  const int rounds = test::scaled_iters(200);
+  for (int round = 0; round < rounds; ++round) {
     ASSERT_TRUE(tree.insert(smr.handle(0), 9, 9));
     std::atomic<int> wins{0};
     test::run_threads(4, [&](unsigned tid) {
@@ -69,7 +70,8 @@ TYPED_TEST(TreeConcurrentTest, SameKeyEraseExactlyOneWins) {
 TYPED_TEST(TreeConcurrentTest, SameKeyInsertExactlyOneWins) {
   TypeParam smr(test::small_config(4));
   NatarajanMittalTree<Key, Val, TypeParam> tree(smr);
-  for (int round = 0; round < 200; ++round) {
+  const int rounds = test::scaled_iters(200);
+  for (int round = 0; round < rounds; ++round) {
     std::atomic<int> wins{0};
     test::run_threads(4, [&](unsigned tid) {
       if (tree.insert(smr.handle(tid), 9, tid)) wins.fetch_add(1);
@@ -84,7 +86,8 @@ TYPED_TEST(TreeConcurrentTest, SiblingDeletesRace) {
   // double-flag case retire_chain must disambiguate via the survivor.
   TypeParam smr(test::small_config(2));
   NatarajanMittalTree<Key, Val, TypeParam> tree(smr);
-  for (int round = 0; round < 500; ++round) {
+  const int rounds = test::scaled_iters(500);
+  for (int round = 0; round < rounds; ++round) {
     auto& h0 = smr.handle(0);
     ASSERT_TRUE(tree.insert(h0, 10, 0));
     ASSERT_TRUE(tree.insert(h0, 20, 0));
@@ -105,7 +108,8 @@ TYPED_TEST(TreeConcurrentTest, TinyRangeChurnCoherence) {
   test::run_threads(8, [&](unsigned tid) {
     auto& h = smr.handle(tid);
     Xoshiro256 rng(tid * 31 + 7);
-    for (int i = 0; i < 40000; ++i) {
+    const int iters = test::scaled_iters(40000);
+    for (int i = 0; i < iters; ++i) {
       const Key k = rng.next_in(12);
       switch (rng.next_in(4)) {
         case 0:
@@ -140,7 +144,8 @@ TYPED_TEST(TreeConcurrentTest, StableKeysSurviveNeighbourChurn) {
     auto& h = smr.handle(tid);
     Xoshiro256 rng(tid + 3);
     if (tid == 0) {
-      for (int i = 0; i < 40000; ++i) {
+      const int iters = test::scaled_iters(40000);
+      for (int i = 0; i < iters; ++i) {
         const Key k = rng.next_in(32) * 2 + 1;  // odd keys only
         if (rng.next_in(2)) {
           tree.insert(h, k, k);
@@ -165,7 +170,8 @@ TYPED_TEST(TreeConcurrentTest, MixedSizesRangeChurn) {
   test::run_threads(4, [&](unsigned tid) {
     auto& h = smr.handle(tid);
     Xoshiro256 rng(tid * 101 + 1);
-    for (int i = 0; i < 30000; ++i) {
+    const int iters = test::scaled_iters(30000);
+    for (int i = 0; i < iters; ++i) {
       const Key k = rng.next_in(1024);
       if (rng.next_in(2)) {
         tree.insert(h, k, k);

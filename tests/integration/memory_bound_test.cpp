@@ -51,7 +51,7 @@ TEST(MemoryBound, HpListPendingStaysWithinTheorem1Bound) {
   constexpr unsigned kScan = 64;   // R
   const std::int64_t bound = kSlots * kThreads + kThreads * kScan;
   const std::int64_t peak = churn_pending<HpDomain, HarrisList<Key, Val, HpDomain>>(
-      kThreads, 60000, 64);
+      kThreads, test::scaled_iters(60000), 64);
   EXPECT_LE(peak, 2 * bound) << "peak pending exceeded the H*N + N*R bound "
                                 "(x2 slack for sampling jitter)";
 }
@@ -61,15 +61,16 @@ TEST(MemoryBound, HpTreePendingStaysWithinTheorem1Bound) {
   const std::int64_t bound = 8 * kThreads + kThreads * 64;
   const std::int64_t peak =
       churn_pending<HpDomain, NatarajanMittalTree<Key, Val, HpDomain>>(
-          kThreads, 60000, 64);
+          kThreads, test::scaled_iters(60000), 64);
   EXPECT_LE(peak, 2 * bound);
 }
 
 TEST(MemoryBound, EbrKeepsMoreGarbageThanHpUnderSameChurn) {
+  const int iters = test::scaled_iters(60000);
   const std::int64_t hp_peak =
-      churn_pending<HpDomain, HarrisList<Key, Val, HpDomain>>(4, 60000, 64);
+      churn_pending<HpDomain, HarrisList<Key, Val, HpDomain>>(4, iters, 64);
   const std::int64_t ebr_peak =
-      churn_pending<EbrDomain, HarrisList<Key, Val, EbrDomain>>(4, 60000, 64);
+      churn_pending<EbrDomain, HarrisList<Key, Val, EbrDomain>>(4, iters, 64);
   // The paper's Figure 10 ordering: HP lowest, EBR highest.  On 2 cores the
   // gap is narrower but the ordering is stable.
   EXPECT_GE(ebr_peak, hp_peak)
@@ -95,7 +96,8 @@ TEST(MemoryBound, StalledTraverserDoesNotUnboundHpMemory) {
   test::run_threads(2, [&](unsigned tid) {
     auto& h = smr.handle(tid);
     Xoshiro256 rng(tid);
-    for (int i = 0; i < 40000; ++i) {
+    const int iters = test::scaled_iters(40000);
+    for (int i = 0; i < iters; ++i) {
       const Key k = rng.next_in(64);
       if (rng.next_in(2)) {
         list.insert(h, k, k);
@@ -118,7 +120,8 @@ TEST(MemoryBound, PendingDrainsToNearZeroAtQuiescence) {
     test::run_threads(4, [&](unsigned tid) {
       auto& h = smr.handle(tid);
       Xoshiro256 rng(tid);
-      for (int i = 0; i < 20000; ++i) {
+      const int iters = test::scaled_iters(20000);
+      for (int i = 0; i < iters; ++i) {
         const Key k = rng.next_in(64);
         if (rng.next_in(2)) {
           list.insert(h, k, k);

@@ -55,27 +55,29 @@ void sweep_body(const SweepParam& p, int iters) {
 }
 
 TEST_P(MixedStressSweep, HarrisListUnderHp) {
-  sweep_body<HpDomain, HarrisList<Key, Val, HpDomain>>(GetParam(), 15000);
+  sweep_body<HpDomain, HarrisList<Key, Val, HpDomain>>(
+      GetParam(), test::scaled_iters(15000));
 }
 
 TEST_P(MixedStressSweep, HarrisListUnderHyaline) {
-  sweep_body<HyalineDomain, HarrisList<Key, Val, HyalineDomain>>(GetParam(),
-                                                                 15000);
+  sweep_body<HyalineDomain, HarrisList<Key, Val, HyalineDomain>>(
+      GetParam(), test::scaled_iters(15000));
 }
 
 TEST_P(MixedStressSweep, HarrisListUnderIbr) {
-  sweep_body<IbrDomain, HarrisList<Key, Val, IbrDomain>>(GetParam(), 15000);
+  sweep_body<IbrDomain, HarrisList<Key, Val, IbrDomain>>(
+      GetParam(), test::scaled_iters(15000));
 }
 
 TEST_P(MixedStressSweep, HarrisMichaelUnderHe) {
-  sweep_body<HeDomain, HarrisMichaelList<Key, Val, HeDomain>>(GetParam(),
-                                                              15000);
+  sweep_body<HeDomain, HarrisMichaelList<Key, Val, HeDomain>>(
+      GetParam(), test::scaled_iters(15000));
 }
 
 TEST_P(MixedStressSweep, WaitFreeListUnderHpOpt) {
   sweep_body<HpOptDomain,
              HarrisList<Key, Val, HpOptDomain, HarrisListWaitFreeTraits>>(
-      GetParam(), 15000);
+      GetParam(), test::scaled_iters(15000));
 }
 
 template <class Smr>
@@ -105,15 +107,15 @@ void tree_sweep_body(const SweepParam& p, int iters) {
 }
 
 TEST_P(MixedStressSweep, TreeUnderHp) {
-  tree_sweep_body<HpDomain>(GetParam(), 15000);
+  tree_sweep_body<HpDomain>(GetParam(), test::scaled_iters(15000));
 }
 
 TEST_P(MixedStressSweep, TreeUnderHyaline) {
-  tree_sweep_body<HyalineDomain>(GetParam(), 15000);
+  tree_sweep_body<HyalineDomain>(GetParam(), test::scaled_iters(15000));
 }
 
 TEST_P(MixedStressSweep, TreeUnderEbr) {
-  tree_sweep_body<EbrDomain>(GetParam(), 15000);
+  tree_sweep_body<EbrDomain>(GetParam(), test::scaled_iters(15000));
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -35,7 +35,7 @@ std::int64_t pending_after_stalled_churn(Smr& smr, int churn) {
 
 TYPED_TEST(SmrRobustnessTest, StalledThreadBoundsGarbageIffRobust) {
   TypeParam smr(test::small_config(2));
-  constexpr int kChurn = 20000;
+  const int kChurn = test::scaled_iters(20000);
   const std::int64_t pending = pending_after_stalled_churn(smr, kChurn);
   if constexpr (TypeParam::kRobust) {
     // Theorem 1 flavour: H*N protected + N*R limbo slack + batch slack.
@@ -49,7 +49,8 @@ TYPED_TEST(SmrRobustnessTest, StalledThreadBoundsGarbageIffRobust) {
 
 TYPED_TEST(SmrRobustnessTest, ResumedThreadUnblocksReclamation) {
   TypeParam smr(test::small_config(2));
-  (void)pending_after_stalled_churn(smr, 20000);  // end_op() inside
+  (void)pending_after_stalled_churn(smr, test::scaled_iters(20000));
+  // (end_op() happens inside pending_after_stalled_churn.)
   auto& writer = smr.handle(1);
   test::churn_retire(writer, 4000);  // new scans after the stall cleared
   EXPECT_LT(smr.pending_nodes(), 2048)
@@ -85,7 +86,7 @@ TYPED_TEST(SmrRobustnessTest, ManyStalledReadersStillBounded) {
       (void)h.protect(*srcs.back(), 0);
     }
     for (auto* v : victims) writer.retire(v);
-    test::churn_retire(writer, 20000);
+    test::churn_retire(writer, test::scaled_iters(20000));
     EXPECT_LT(smr.pending_nodes(), 4096);
     for (auto* v : victims) {
       EXPECT_EQ(v->debug_state, kNodeRetired) << "victims remain protected";

@@ -3,8 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -12,6 +15,22 @@
 #include "core/core.hpp"
 
 namespace scot::test {
+
+// SCOT_SMOKE=1 shrinks the heavy concurrent/stress suites so sanitizer CI
+// finishes in minutes; unset or a false-y value ("", "0", "false", "off",
+// "no") keeps the full counts.
+inline bool smoke_mode() {
+  const char* e = std::getenv("SCOT_SMOKE");
+  if (e == nullptr) return false;
+  const std::string_view v(e);
+  return !(v.empty() || v == "0" || v == "false" || v == "off" || v == "no");
+}
+
+// Iteration budget for churn loops: `full` normally, `full / divisor`
+// (but at least 1) under SCOT_SMOKE.
+inline int scaled_iters(int full, int divisor = 10) {
+  return smoke_mode() ? std::max(1, full / divisor) : full;
+}
 
 using AllSchemes =
     ::testing::Types<NoReclaimDomain, EbrDomain, HpDomain, HpOptDomain,
