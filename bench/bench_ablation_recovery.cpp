@@ -12,19 +12,24 @@ using namespace scot;
 using namespace scot::bench;
 
 template <class Traits>
-static CaseResult run_list(unsigned threads, std::uint64_t range, int ms) {
+static CaseResult run_list(unsigned threads, std::uint64_t range, int ms,
+                           const char* variant) {
   CaseConfig cfg;
   cfg.scheme = SchemeId::kHP;
   cfg.threads = threads;
   cfg.key_range = range;
   cfg.millis = ms;
   cfg.runs = env_runs();
-  return detail::run_structure<
+  apply_session_flags(cfg);
+  const CaseResult r = detail::run_structure<
       HarrisList<std::uint64_t, std::uint64_t, HpDomain, Traits>, HpDomain>(
       cfg);
+  fig_record(std::string("recovery ablation, ") + variant, cfg, r);
+  return r;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  fig_init(argc, argv, "ablation_recovery");
   const int ms = env_ms(300);
   std::printf(
       "SCOT ablation — §3.2.1 recovery optimization (Harris list, HP)\n\n");
@@ -32,9 +37,9 @@ int main() {
     Table t({"threads", "recovery Mops", "recovery restarts", "recoveries",
              "no-recovery Mops", "no-recovery restarts"});
     for (unsigned th : env_threads()) {
-      const CaseResult on = run_list<HarrisListTraits>(th, range, ms);
+      const CaseResult on = run_list<HarrisListTraits>(th, range, ms, "on");
       const CaseResult off =
-          run_list<HarrisListNoRecoveryTraits>(th, range, ms);
+          run_list<HarrisListNoRecoveryTraits>(th, range, ms, "off");
       t.add_row({std::to_string(th), format_double(on.mops, 2),
                  std::to_string(on.restarts), std::to_string(on.recoveries),
                  format_double(off.mops, 2), std::to_string(off.restarts)});
@@ -44,5 +49,5 @@ int main() {
     t.print();
     std::printf("\n");
   }
-  return 0;
+  return fig_finish();
 }

@@ -14,24 +14,28 @@ using namespace scot::bench;
 
 template <class Traits>
 static CaseResult run_list(unsigned threads, std::uint64_t range, int ms,
-                           SchemeId scheme) {
+                           SchemeId scheme, const char* variant) {
   CaseConfig cfg;
   cfg.scheme = scheme;
   cfg.threads = threads;
   cfg.key_range = range;
   cfg.millis = ms;
   cfg.runs = env_runs();
-  if (scheme == SchemeId::kHP) {
-    return detail::run_structure<
-        HarrisList<std::uint64_t, std::uint64_t, HpDomain, Traits>, HpDomain>(
-        cfg);
-  }
-  return detail::run_structure<
-      HarrisList<std::uint64_t, std::uint64_t, HeDomain, Traits>, HeDomain>(
-      cfg);
+  apply_session_flags(cfg);
+  const CaseResult r =
+      scheme == SchemeId::kHP
+          ? detail::run_structure<
+                HarrisList<std::uint64_t, std::uint64_t, HpDomain, Traits>,
+                HpDomain>(cfg)
+          : detail::run_structure<
+                HarrisList<std::uint64_t, std::uint64_t, HeDomain, Traits>,
+                HeDomain>(cfg);
+  fig_record(std::string("unroll ablation, ") + variant, cfg, r);
+  return r;
 }
 
-int main() {
+int main(int argc, char** argv) {
+  fig_init(argc, argv, "ablation_unroll");
   const int ms = env_ms(300);
   std::printf(
       "SCOT ablation — §3.2 unrolled (Fig 5 right) vs simple (Fig 5 left) "
@@ -41,9 +45,9 @@ int main() {
       Table t({"threads", "unrolled Mops", "simple Mops", "speedup"});
       for (unsigned th : env_threads()) {
         const CaseResult fast =
-            run_list<HarrisListTraits>(th, range, ms, scheme);
+            run_list<HarrisListTraits>(th, range, ms, scheme, "unrolled");
         const CaseResult simple =
-            run_list<HarrisListSimpleTraits>(th, range, ms, scheme);
+            run_list<HarrisListSimpleTraits>(th, range, ms, scheme, "simple");
         t.add_row({std::to_string(th), format_double(fast.mops, 2),
                    format_double(simple.mops, 2),
                    format_double(simple.mops > 0 ? fast.mops / simple.mops : 0,
@@ -55,5 +59,5 @@ int main() {
       std::printf("\n");
     }
   }
-  return 0;
+  return fig_finish();
 }

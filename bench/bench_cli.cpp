@@ -1,9 +1,9 @@
 // Paper-artifact-compatible CLI (Appendix A.5 of the paper):
 //
 //     ./bench_cli <mode> <seconds> <keyrange> <runs> <read%> <ins%> <del%>
-//                 <SCHEME> <threads>
+//                 <SCHEME> <threads> [--flags]
 //
-// e.g.   ./bench_cli listlf 2 512 1 50 25 25 EBR 4
+// e.g.   ./bench_cli listlf 2 512 1 50 25 25 EBR 4 --seed 7 --json out.json
 //
 // Modes: listlf  — Harris list with SCOT, lock-free traversals
 //        listwf  — Harris list with SCOT, wait-free traversals
@@ -14,13 +14,21 @@
 //        skiphs  — skip list, Herlihy-Shavit eager unlink (baseline)
 // Schemes: NR EBR HP HPopt HE IBR HLN
 //
-// Parsing lives in src/bench/options.hpp (parse_cli) so it is unit-testable;
-// this file only reports the result.
+// Optional flags (see kFlagUsage): --seed for reproducible key streams,
+// --json for the scot-bench telemetry sink, --dist/--theta for Zipfian
+// keys, --preset to override the positional mix, --pin for thread
+// affinity, --ops for a fixed per-thread operation budget instead of a
+// timed run.  Unknown or malformed flags are an error (exit 2), never
+// silently ignored.
+//
+// Parsing lives in src/bench/options.hpp (parse_cli) so it is
+// unit-testable; this file only reports the result.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
 #include "bench/options.hpp"
+#include "bench/report/report.hpp"
 #include "bench/runner.hpp"
 
 using namespace scot::bench;
@@ -28,8 +36,9 @@ using namespace scot::bench;
 static void usage(const char* argv0, int code) {
   std::fprintf(code == 0 ? stdout : stderr,
                "usage: %s %s\n"
-               "e.g.:  %s listlf 2 512 1 50 25 25 EBR 4\n",
-               argv0, kCliUsage, argv0);
+               "       %s\n"
+               "e.g.:  %s listlf 2 512 1 50 25 25 EBR 4 --json out.json\n",
+               argv0, kCliUsage, kFlagUsage, argv0);
   std::exit(code);
 }
 
@@ -37,17 +46,22 @@ int main(int argc, char** argv) {
   if (argc == 1) usage(argv[0], 0);  // bare run: self-document, succeed
 
   std::string error;
-  const auto cfg = parse_cli(argc, argv, &error);
+  BenchFlags flags;
+  const auto cfg = parse_cli(argc, argv, &error, &flags);
   if (!cfg) {
+    if (flags.help) usage(argv[0], 0);
     std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
     usage(argv[0], 2);
   }
 
   const CaseResult r = run_case(*cfg);
-  std::printf("structure=%s scheme=%s threads=%u range=%llu mix=%d/%d/%d\n",
+  std::printf("structure=%s scheme=%s threads=%u range=%llu mix=%d/%d/%d "
+              "dist=%s seed=%llu\n",
               structure_name(cfg->structure), scheme_name(cfg->scheme),
               cfg->threads, static_cast<unsigned long long>(cfg->key_range),
-              cfg->read_pct, cfg->insert_pct, cfg->delete_pct);
+              cfg->read_pct, cfg->insert_pct, cfg->delete_pct,
+              key_dist_name(cfg->key_dist),
+              static_cast<unsigned long long>(cfg->seed));
   std::printf("ops=%llu seconds=%.3f throughput=%.3f Mops/s\n",
               static_cast<unsigned long long>(r.total_ops), r.seconds,
               r.mops);
@@ -56,5 +70,19 @@ int main(int argc, char** argv) {
               r.avg_pending, static_cast<long long>(r.peak_pending),
               static_cast<unsigned long long>(r.restarts),
               static_cast<unsigned long long>(r.recoveries));
+
+  if (!flags.json_path.empty()) {
+    BenchReport report;
+    report.add("cli",
+               std::string(structure_name(cfg->structure)) + " under " +
+                   scheme_name(cfg->scheme),
+               *cfg, r);
+    if (!report.write_file(flags.json_path, &error)) {
+      std::fprintf(stderr, "%s: failed to write %s: %s\n", argv[0],
+                   flags.json_path.c_str(), error.c_str());
+      return 1;
+    }
+    std::printf("wrote 1 cell to %s\n", flags.json_path.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,124 @@
+// Regression gate over two scot-bench JSON result files (the --json output
+// of bench_cli and the figure/table binaries):
+//
+//     bench_diff [--threshold <pct>] [--report-only] <baseline.json>
+//                <candidate.json>
+//
+// Cells are matched by workload identity (bench, label, structure, scheme,
+// threads, key range, mix, distribution); seed/duration/runs are ignored so
+// a smoke run can be gated against the committed full baseline.  A cell
+// regresses when candidate throughput drops more than <pct> percent below
+// the baseline (default 5).
+//
+// Exit codes: 0 = no regressions, 1 = regression(s), 2 = usage error,
+// unreadable/invalid input, or an empty cell intersection.  Under
+// --report-only only unreadable/invalid input still fails (exit 2); every
+// comparison outcome exits 0.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/options.hpp"
+#include "bench/report/diff.hpp"
+#include "bench/report/report.hpp"
+#include "bench/table.hpp"
+
+using namespace scot::bench;
+
+static void usage(std::FILE* f, const char* argv0) {
+  std::fprintf(f,
+               "usage: %s [--threshold <pct>] [--report-only] "
+               "<baseline.json> <candidate.json>\n",
+               argv0);
+}
+
+int main(int argc, char** argv) {
+  DiffOptions options;
+  bool report_only = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--help") {
+      usage(stdout, argv[0]);
+      return 0;
+    }
+    if (a == "--report-only") {
+      report_only = true;
+      continue;
+    }
+    if (a == "--threshold") {
+      double v = 0;
+      if (i + 1 >= argc || !parse_double(argv[++i], v) || v < 0) {
+        std::fprintf(stderr, "%s: --threshold needs a percentage >= 0\n",
+                     argv[0]);
+        usage(stderr, argv[0]);
+        return 2;
+      }
+      options.threshold_pct = v;
+      continue;
+    }
+    if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "%s: unknown flag '%s'\n", argv[0], a.c_str());
+      usage(stderr, argv[0]);
+      return 2;
+    }
+    paths.push_back(a);
+  }
+  if (paths.size() != 2) {
+    usage(stderr, argv[0]);
+    return 2;
+  }
+
+  std::string error;
+  const auto baseline = BenchReport::load_file(paths[0], &error);
+  if (!baseline) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv[0], paths[0].c_str(),
+                 error.c_str());
+    return 2;
+  }
+  const auto candidate = BenchReport::load_file(paths[1], &error);
+  if (!candidate) {
+    std::fprintf(stderr, "%s: %s: %s\n", argv[0], paths[1].c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  std::printf("baseline:  %s (%s, %s)\n", paths[0].c_str(),
+              baseline->meta().git_sha.c_str(),
+              baseline->meta().timestamp_utc.c_str());
+  std::printf("candidate: %s (%s, %s)\n\n", paths[1].c_str(),
+              candidate->meta().git_sha.c_str(),
+              candidate->meta().timestamp_utc.c_str());
+
+  const DiffReport diff = diff_reports(*baseline, *candidate, options);
+
+  Table t({"cell", "base Mops", "cand Mops", "delta%", ""});
+  for (const CellDelta& d : diff.deltas) {
+    t.add_row({d.key, format_double(d.base_mops, 3),
+               format_double(d.cand_mops, 3), format_double(d.delta_pct, 1),
+               d.regression ? "REGRESSION" : ""});
+  }
+  t.print();
+  for (const std::string& k : diff.only_baseline)
+    std::printf("missing from candidate: %s\n", k.c_str());
+  for (const std::string& k : diff.only_candidate)
+    std::printf("missing from baseline:  %s\n", k.c_str());
+
+  std::printf("\n%zu cell(s) compared, %d regression(s) beyond -%.1f%%\n",
+              diff.deltas.size(), diff.regressions, options.threshold_pct);
+  if (diff.deltas.empty()) {
+    // Label/grid drift empties the intersection; under --report-only that
+    // must stay advisory, not turn the CI job red.
+    std::fprintf(stderr, "%s: no comparable cells between the two files\n",
+                 argv[0]);
+    return report_only ? 0 : 2;
+  }
+  if (diff.regressions > 0) {
+    if (report_only) {
+      std::printf("(--report-only: exiting 0 despite regressions)\n");
+      return 0;
+    }
+    return 1;
+  }
+  return 0;
+}

@@ -4,8 +4,9 @@
 // gauge is domain-wide rather than per-thread (see EXPERIMENTS.md).
 #include "bench/fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scot::bench;
+  fig_init(argc, argv, "fig10");
   std::printf("SCOT reproduction — Figure 10 (list memory overhead)\n\n");
   GridSpec a{"Fig 10a: Harris-Michael list, range 512", StructureId::kHMList,
              512, Metric::kAvgPending};
@@ -23,5 +24,5 @@ int main() {
              StructureId::kHListWF, 10000, Metric::kAvgPending};
   d.include_nr = false;
   run_grid(d, 300);
-  return 0;
+  return fig_finish();
 }

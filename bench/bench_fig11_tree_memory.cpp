@@ -3,8 +3,9 @@
 // EBR highest ("relaxed and delayed reclamation").
 #include "bench/fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scot::bench;
+  fig_init(argc, argv, "fig11");
   std::printf("SCOT reproduction — Figure 11 (NMTree memory overhead)\n\n");
   GridSpec a{"Fig 11a: NMTree, range 128", StructureId::kNMTree, 128,
              Metric::kAvgPending};
@@ -14,5 +15,5 @@ int main() {
              Metric::kAvgPending};
   b.include_nr = false;
   run_grid(b, 400);
-  return 0;
+  return fig_finish();
 }

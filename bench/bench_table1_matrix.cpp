@@ -8,12 +8,11 @@
 #include <cstdio>
 #include <string>
 
-#include "bench/options.hpp"
-#include "bench/runner.hpp"
-#include "bench/table.hpp"
+#include "bench/fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scot::bench;
+  fig_init(argc, argv, "table1");
   std::printf("SCOT reproduction — Table 1 (SMR compatibility matrix)\n\n");
   struct RowSpec {
     StructureId structure;
@@ -45,7 +44,9 @@ int main() {
       cfg.threads = 2;
       cfg.key_range = 128;
       cfg.millis = ms;
+      apply_session_flags(cfg);
       const CaseResult r = run_case(cfg);
+      fig_record(std::string(row.label) + " / " + scheme_name(s), cfg, r);
       return r.total_ops > 0 ? "ok" : "x";
     };
     // "HP*" stands for HP/HE/IBR/Hyaline-1S (paper footnote); run all four
@@ -63,5 +64,5 @@ int main() {
   std::printf(
       "\n('ok' cells are verified by live runs; the w/o-SCOT column is the "
       "paper's analytical result — those traversals are unsafe to execute)\n");
-  return 0;
+  return fig_finish();
 }

@@ -6,12 +6,11 @@
 #include <cinttypes>
 #include <cstdio>
 
-#include "bench/options.hpp"
-#include "bench/runner.hpp"
-#include "bench/table.hpp"
+#include "bench/fig_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scot::bench;
+  fig_init(argc, argv, "table2");
   const auto threads = env_threads();
   const int ms = env_ms(400);
   std::printf(
@@ -25,11 +24,14 @@ int main() {
     cfg.key_range = 10000;
     cfg.millis = ms;
     cfg.runs = env_runs();
+    apply_session_flags(cfg);
 
     cfg.structure = StructureId::kHMList;
     const CaseResult hm = run_case(cfg);
+    fig_record("Table 2: HMList restarts under HP", cfg, hm);
     cfg.structure = StructureId::kHListWF;
     const CaseResult hl = run_case(cfg);
+    fig_record("Table 2: HList restarts under HP", cfg, hl);
 
     const double hm_pct =
         hm.total_ops ? 100.0 * static_cast<double>(hm.restarts) /
@@ -48,5 +50,5 @@ int main() {
   std::printf(
       "\n(restart%% = full traversal restarts / operations; the paper reports "
       "0%%->8.19%% for HMList and ~0%% for HList)\n");
-  return 0;
+  return fig_finish();
 }

@@ -1,17 +1,96 @@
 // Shared scaffolding for the figure-reproduction binaries: one table per
 // (structure, key range), rows = thread counts, columns = SMR schemes —
-// the same series the paper plots.
+// the same series the paper plots.  Every binary funnels through
+// fig_init() / fig_record() / fig_finish(), which parse the shared
+// optional flags (--json, --seed, --dist, ...) and write the scot-bench
+// JSON report when requested.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "bench/options.hpp"
+#include "bench/report/report.hpp"
 #include "bench/runner.hpp"
 #include "bench/table.hpp"
 
 namespace scot::bench {
+
+// Per-binary session: flags parsed once in fig_init(), cells recorded by
+// run_grid()/fig_record(), JSON written by fig_finish().
+struct FigSession {
+  std::string bench;  // binary family tag in the report, e.g. "fig8"
+  BenchFlags flags;
+  BenchReport report;
+};
+
+inline FigSession& fig_session() {
+  static FigSession s;
+  return s;
+}
+
+// Parses the shared optional flags.  Exits 0 on --help, 2 on an unknown or
+// malformed flag or on stray positional arguments (the figure binaries
+// take none) — never silently ignores input.
+inline void fig_init(int argc, char** argv, const char* bench) {
+  FigSession& s = fig_session();
+  s.bench = bench;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string error;
+  if (!extract_bench_flags(args, s.flags, &error)) {
+    std::fprintf(stderr, "%s: %s\nusage: %s %s\n", argv[0], error.c_str(),
+                 argv[0], kFlagUsage);
+    std::exit(2);
+  }
+  if (s.flags.help) {
+    std::printf("usage: %s %s\n", argv[0], kFlagUsage);
+    std::exit(0);
+  }
+  if (!args.empty()) {
+    std::fprintf(stderr, "%s: unexpected argument '%s'\nusage: %s %s\n",
+                 argv[0], args.front().c_str(), argv[0], kFlagUsage);
+    std::exit(2);
+  }
+}
+
+// Copies the session flags into a case: seed, key distribution, pinning,
+// op budget, and (when --preset was given) the workload mix.
+inline void apply_session_flags(CaseConfig& cfg) {
+  const BenchFlags& f = fig_session().flags;
+  cfg.seed = f.seed;
+  cfg.key_dist = f.dist;
+  cfg.zipf_theta = f.zipf_theta;
+  cfg.pin_threads = f.pin;
+  cfg.op_budget = f.op_budget;
+  if (f.preset) {
+    cfg.read_pct = f.preset->read_pct;
+    cfg.insert_pct = f.preset->insert_pct;
+    cfg.delete_pct = f.preset->delete_pct;
+  }
+}
+
+inline void fig_record(const std::string& label, const CaseConfig& cfg,
+                       const CaseResult& result) {
+  FigSession& s = fig_session();
+  s.report.add(s.bench, label, cfg, result);
+}
+
+// Writes the JSON report when --json was given; returns main()'s exit code.
+inline int fig_finish() {
+  FigSession& s = fig_session();
+  if (s.flags.json_path.empty()) return 0;
+  std::string error;
+  if (!s.report.write_file(s.flags.json_path, &error)) {
+    std::fprintf(stderr, "failed to write %s: %s\n",
+                 s.flags.json_path.c_str(), error.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu cell(s) to %s\n", s.report.cells().size(),
+              s.flags.json_path.c_str());
+  return 0;
+}
 
 enum class Metric { kThroughputMops, kAvgPending };
 
@@ -31,11 +110,26 @@ inline void run_grid(const GridSpec& spec, int def_ms) {
   const int ms = env_ms(def_ms);
   const unsigned runs = env_runs();
 
+  CaseConfig proto;
+  proto.structure = spec.structure;
+  proto.key_range = spec.key_range;
+  proto.read_pct = spec.read_pct;
+  proto.insert_pct = spec.insert_pct;
+  proto.delete_pct = spec.delete_pct;
+  proto.millis = ms;
+  proto.runs = runs;
+  proto.sample_memory = spec.metric == Metric::kAvgPending;
+  apply_session_flags(proto);
+
   std::printf("== %s ==\n", spec.title);
-  std::printf("   structure=%s range=%llu mix=%d/%d/%d ms=%d runs=%u\n",
+  std::printf("   structure=%s range=%llu mix=%d/%d/%d ms=%d runs=%u",
               structure_name(spec.structure),
-              static_cast<unsigned long long>(spec.key_range), spec.read_pct,
-              spec.insert_pct, spec.delete_pct, ms, runs);
+              static_cast<unsigned long long>(spec.key_range), proto.read_pct,
+              proto.insert_pct, proto.delete_pct, ms, runs);
+  if (proto.key_dist == KeyDist::kZipfian)
+    std::printf(" dist=zipfian(%.2f)", proto.zipf_theta);
+  if (proto.pin_threads) std::printf(" pinned");
+  std::printf("\n");
 
   std::vector<std::string> header{"threads"};
   std::vector<SchemeId> schemes;
@@ -48,18 +142,11 @@ inline void run_grid(const GridSpec& spec, int def_ms) {
   for (unsigned th : threads) {
     std::vector<std::string> row{std::to_string(th)};
     for (SchemeId s : schemes) {
-      CaseConfig cfg;
-      cfg.structure = spec.structure;
+      CaseConfig cfg = proto;
       cfg.scheme = s;
       cfg.threads = th;
-      cfg.key_range = spec.key_range;
-      cfg.read_pct = spec.read_pct;
-      cfg.insert_pct = spec.insert_pct;
-      cfg.delete_pct = spec.delete_pct;
-      cfg.millis = ms;
-      cfg.runs = runs;
-      cfg.sample_memory = spec.metric == Metric::kAvgPending;
       const CaseResult r = run_case(cfg);
+      fig_record(spec.title, cfg, r);
       row.push_back(spec.metric == Metric::kThroughputMops
                         ? format_double(r.mops, 2)
                         : format_double(r.avg_pending, 0));

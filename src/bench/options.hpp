@@ -40,6 +40,11 @@ inline const char* scheme_name(SchemeId s) {
   return "?";
 }
 
+inline constexpr StructureId kAllStructures[] = {
+    StructureId::kHMList,  StructureId::kHList,    StructureId::kHListWF,
+    StructureId::kNMTree,  StructureId::kHashMap,  StructureId::kSkipList,
+    StructureId::kSkipListEager};
+
 inline const char* structure_name(StructureId s) {
   switch (s) {
     case StructureId::kHMList: return "HMList";
@@ -61,6 +66,14 @@ inline std::optional<SchemeId> scheme_from_name(std::string_view name) {
   return std::nullopt;
 }
 
+// Reverse of structure_name(); used when loading JSON reports.
+inline std::optional<StructureId> structure_from_name(std::string_view name) {
+  for (StructureId s : kAllStructures) {
+    if (name == structure_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
 inline std::optional<StructureId> structure_from_mode(std::string_view mode) {
   if (mode == "listlf") return StructureId::kHList;
   if (mode == "listwf") return StructureId::kHListWF;
@@ -69,6 +82,40 @@ inline std::optional<StructureId> structure_from_mode(std::string_view mode) {
   if (mode == "hash") return StructureId::kHashMap;
   if (mode == "skip") return StructureId::kSkipList;
   if (mode == "skiphs") return StructureId::kSkipListEager;
+  return std::nullopt;
+}
+
+// Key-access distribution of the measured phase.  Prefill always inserts
+// uniformly (structure *contents* cover the range either way); the
+// distribution shapes which keys the workers touch.
+enum class KeyDist { kUniform, kZipfian };
+
+inline const char* key_dist_name(KeyDist d) {
+  switch (d) {
+    case KeyDist::kUniform: return "uniform";
+    case KeyDist::kZipfian: return "zipfian";
+  }
+  return "?";
+}
+
+inline std::optional<KeyDist> key_dist_from_name(std::string_view name) {
+  if (name == "uniform") return KeyDist::kUniform;
+  if (name == "zipfian" || name == "zipf") return KeyDist::kZipfian;
+  return std::nullopt;
+}
+
+// Named read/insert/delete mixes for the common scenarios; "mixed" is the
+// paper's headline workload.
+struct WorkloadMix {
+  int read_pct;
+  int insert_pct;
+  int delete_pct;
+};
+
+inline std::optional<WorkloadMix> preset_from_name(std::string_view name) {
+  if (name == "mixed") return WorkloadMix{50, 25, 25};
+  if (name == "read-mostly") return WorkloadMix{90, 5, 5};
+  if (name == "write-heavy") return WorkloadMix{10, 45, 45};
   return std::nullopt;
 }
 
@@ -85,6 +132,12 @@ struct CaseConfig {
   unsigned runs = 1;  // median-of-runs (the paper uses 5)
   std::uint64_t seed = 42;
   std::size_t hash_buckets = 0;  // HashMap only; 0 = key_range / 8
+  KeyDist key_dist = KeyDist::kUniform;
+  double zipf_theta = 0.99;      // skew when key_dist == kZipfian; 0 < θ < 1
+  bool pin_threads = false;      // pin worker t to CPU t % hw_concurrency
+  std::uint64_t op_budget = 0;   // per-thread op count; 0 = timed (millis).
+                                 // With a budget and a fixed seed, a run is
+                                 // bit-reproducible (see bench_determinism_test).
 };
 
 struct CaseResult {
@@ -95,6 +148,11 @@ struct CaseResult {
   std::int64_t peak_pending = 0;
   std::uint64_t restarts = 0;
   std::uint64_t recoveries = 0;
+  // Attempted-operation mix of the (median) run; deterministic for a fixed
+  // seed when op_budget != 0 and runs == 1.
+  std::uint64_t reads = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t removes = 0;
 };
 
 // --- paper-artifact CLI (Appendix A.5) ------------------------------------
@@ -124,20 +182,142 @@ inline bool parse_decimal(std::string_view sv, long long& out) {
   return true;
 }
 
-// Parses `argv[1..9]` into a CaseConfig (argv[0] is the program name, as in
-// main()).  Returns nullopt on malformed input; `error`, when given,
-// receives a one-line reason.
+// Whole-string floating-point parse; rejects "", "1x", "0x1p3"-style
+// surprises the same way parse_decimal does.
+inline bool parse_double(std::string_view sv, double& out) {
+  if (sv.empty()) return false;
+  if (sv.front() != '-' && sv.front() != '.' &&
+      (sv.front() < '0' || sv.front() > '9'))
+    return false;  // strtod would skip leading whitespace / accept "inf"
+  if (sv.find('x') != std::string_view::npos ||
+      sv.find('X') != std::string_view::npos)
+    return false;  // ... or accept C99 hex floats like "0x.8p0"
+  const std::string s(sv);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  out = v;
+  return true;
+}
+
+// --- optional flags shared by bench_cli and the figure binaries -----------
+//
+// Every bench binary accepts these in addition to (bench_cli) or instead of
+// (figure/table binaries) positional arguments.  Unknown "--" tokens are a
+// hard error: a misspelled flag must never be silently ignored.
+
+struct BenchFlags {
+  std::uint64_t seed = 42;             // --seed <n>
+  std::string json_path;               // --json <path>; empty = no sink
+  KeyDist dist = KeyDist::kUniform;    // --dist uniform|zipfian
+  double zipf_theta = 0.99;            // --theta <0<θ<1>
+  std::optional<WorkloadMix> preset;   // --preset mixed|read-mostly|write-heavy
+  bool pin = false;                    // --pin: worker-thread CPU affinity
+  std::uint64_t op_budget = 0;         // --ops <per-thread count>; 0 = timed
+  bool help = false;                   // --help seen; caller prints usage
+};
+
+inline constexpr const char* kFlagUsage =
+    "[--seed <n>] [--json <path>] [--dist uniform|zipfian] [--theta <0..1>] "
+    "[--preset mixed|read-mostly|write-heavy] [--pin] [--ops <n>] [--help]";
+
+// Removes the recognised --flags (and their values) from `args`, leaving
+// positional arguments in place.  Returns false with a one-line `error` on
+// an unknown flag, a missing value, or a malformed value.
+inline bool extract_bench_flags(std::vector<std::string>& args,
+                                BenchFlags& out, std::string* error) {
+  const auto fail = [error](std::string msg) {
+    if (error) *error = std::move(msg);
+    return false;
+  };
+  std::vector<std::string> rest;
+  rest.reserve(args.size());
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) != 0) {  // positionals may start with '-' ("-1")
+      rest.push_back(a);
+      continue;
+    }
+    // A following "--token" is the next flag, not this flag's value — treat
+    // it as a missing value rather than silently swallowing that flag.
+    const auto next_value = [&]() -> const std::string* {
+      if (i + 1 >= args.size() || args[i + 1].rfind("--", 0) == 0)
+        return nullptr;
+      return &args[++i];
+    };
+    if (a == "--help") {
+      out.help = true;
+    } else if (a == "--pin") {
+      out.pin = true;
+    } else if (a == "--seed") {
+      const std::string* v = next_value();
+      long long n = 0;
+      if (!v || !parse_decimal(*v, n) || n < 0)
+        return fail("--seed needs a non-negative integer");
+      out.seed = static_cast<std::uint64_t>(n);
+    } else if (a == "--json") {
+      const std::string* v = next_value();
+      if (!v || v->empty()) return fail("--json needs a file path");
+      out.json_path = *v;
+    } else if (a == "--dist") {
+      const std::string* v = next_value();
+      std::optional<KeyDist> d;
+      if (!v || !(d = key_dist_from_name(*v)))
+        return fail("--dist needs 'uniform' or 'zipfian'");
+      out.dist = *d;
+    } else if (a == "--theta") {
+      const std::string* v = next_value();
+      double th = 0;
+      if (!v || !parse_double(*v, th) || !(th > 0.0 && th < 1.0))
+        return fail("--theta needs a value in (0, 1)");
+      out.zipf_theta = th;
+    } else if (a == "--preset") {
+      const std::string* v = next_value();
+      std::optional<WorkloadMix> p;
+      if (!v || !(p = preset_from_name(*v)))
+        return fail("--preset needs mixed, read-mostly, or write-heavy");
+      out.preset = p;
+    } else if (a == "--ops") {
+      const std::string* v = next_value();
+      long long n = 0;
+      if (!v || !parse_decimal(*v, n) || n <= 0)
+        return fail("--ops needs a positive per-thread operation count");
+      out.op_budget = static_cast<std::uint64_t>(n);
+    } else {
+      return fail("unknown flag '" + a + "'");
+    }
+  }
+  args = std::move(rest);
+  return true;
+}
+
+// Parses the paper CLI — positional `argv[1..9]` plus the optional --flags
+// above, in any position — into a CaseConfig (argv[0] is the program name,
+// as in main()).  Returns nullopt on malformed input; `error`, when given,
+// receives a one-line reason.  `flags_out`, when given, receives the flag
+// values even on failure (so callers can honour --help).  A --preset flag
+// overrides the positional workload mix.
 inline std::optional<CaseConfig> parse_cli(int argc, const char* const* argv,
-                                           std::string* error = nullptr) {
+                                           std::string* error = nullptr,
+                                           BenchFlags* flags_out = nullptr) {
   const auto fail = [error](std::string msg) -> std::optional<CaseConfig> {
     if (error) *error = std::move(msg);
     return std::nullopt;
   };
-  if (argc != 10) return fail("expected exactly 9 arguments");
+  std::vector<std::string> args(argv + 1, argv + argc);
+  BenchFlags flags;
+  std::string flag_error;
+  const bool flags_ok = extract_bench_flags(args, flags, &flag_error);
+  if (flags_out) *flags_out = flags;
+  if (!flags_ok) return fail(std::move(flag_error));
+  if (flags.help) return fail("--help requested");
+  if (args.size() != 9)
+    return fail("expected exactly 9 arguments (plus optional --flags)");
 
   CaseConfig cfg;
-  const auto structure = structure_from_mode(argv[1]);
-  if (!structure) return fail(std::string("unknown mode '") + argv[1] + "'");
+  const auto structure = structure_from_mode(args[0]);
+  if (!structure) return fail("unknown mode '" + args[0] + "'");
   cfg.structure = *structure;
 
   // Upper bounds guard the narrowing casts below: cfg.millis is an int and
@@ -150,29 +330,29 @@ inline std::optional<CaseConfig> parse_cli(int argc, const char* const* argv,
   constexpr long long kMaxThreads = 4096;
 
   long long seconds, range, runs, read, ins, del, threads;
-  if (!parse_decimal(argv[2], seconds) || seconds <= 0 ||
+  if (!parse_decimal(args[1], seconds) || seconds <= 0 ||
       seconds > kMaxSeconds)
-    return fail(std::string("bad <seconds> '") + argv[2] + "'");
-  if (!parse_decimal(argv[3], range) || range <= 0)
-    return fail(std::string("bad <keyrange> '") + argv[3] + "'");
-  if (!parse_decimal(argv[4], runs) || runs <= 0 || runs > kMaxUnsigned)
-    return fail(std::string("bad <runs> '") + argv[4] + "'");
-  if (!parse_decimal(argv[5], read) || read < 0 || read > 100)
-    return fail(std::string("bad <read%> '") + argv[5] + "'");
-  if (!parse_decimal(argv[6], ins) || ins < 0 || ins > 100)
-    return fail(std::string("bad <ins%> '") + argv[6] + "'");
-  if (!parse_decimal(argv[7], del) || del < 0 || del > 100)
-    return fail(std::string("bad <del%> '") + argv[7] + "'");
+    return fail("bad <seconds> '" + args[1] + "'");
+  if (!parse_decimal(args[2], range) || range <= 0)
+    return fail("bad <keyrange> '" + args[2] + "'");
+  if (!parse_decimal(args[3], runs) || runs <= 0 || runs > kMaxUnsigned)
+    return fail("bad <runs> '" + args[3] + "'");
+  if (!parse_decimal(args[4], read) || read < 0 || read > 100)
+    return fail("bad <read%> '" + args[4] + "'");
+  if (!parse_decimal(args[5], ins) || ins < 0 || ins > 100)
+    return fail("bad <ins%> '" + args[5] + "'");
+  if (!parse_decimal(args[6], del) || del < 0 || del > 100)
+    return fail("bad <del%> '" + args[6] + "'");
   if (read + ins + del != 100)
     return fail("workload mix <read%>+<ins%>+<del%> must sum to 100");
 
-  const auto scheme = scheme_from_name(argv[8]);
-  if (!scheme) return fail(std::string("unknown scheme '") + argv[8] + "'");
+  const auto scheme = scheme_from_name(args[7]);
+  if (!scheme) return fail("unknown scheme '" + args[7] + "'");
   cfg.scheme = *scheme;
 
-  if (!parse_decimal(argv[9], threads) || threads <= 0 ||
+  if (!parse_decimal(args[8], threads) || threads <= 0 ||
       threads > kMaxThreads)
-    return fail(std::string("bad <threads> '") + argv[9] + "'");
+    return fail("bad <threads> '" + args[8] + "'");
 
   cfg.millis = static_cast<int>(seconds * 1000);
   cfg.key_range = static_cast<std::uint64_t>(range);
@@ -182,6 +362,17 @@ inline std::optional<CaseConfig> parse_cli(int argc, const char* const* argv,
   cfg.delete_pct = static_cast<int>(del);
   cfg.threads = static_cast<unsigned>(threads);
   cfg.sample_memory = true;
+
+  cfg.seed = flags.seed;
+  cfg.key_dist = flags.dist;
+  cfg.zipf_theta = flags.zipf_theta;
+  cfg.pin_threads = flags.pin;
+  cfg.op_budget = flags.op_budget;
+  if (flags.preset) {
+    cfg.read_pct = flags.preset->read_pct;
+    cfg.insert_pct = flags.preset->insert_pct;
+    cfg.delete_pct = flags.preset->delete_pct;
+  }
   return cfg;
 }
 

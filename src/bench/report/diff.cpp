@@ -1,0 +1,47 @@
+#include "bench/report/diff.hpp"
+
+#include <map>
+
+namespace scot::bench {
+
+DiffReport diff_reports(const BenchReport& baseline,
+                        const BenchReport& candidate,
+                        const DiffOptions& options) {
+  // First occurrence wins on duplicate keys; reports written by one binary
+  // run never contain duplicates.
+  std::map<std::string, const ReportCell*> cand_by_key;
+  for (const ReportCell& c : candidate.cells())
+    cand_by_key.emplace(cell_key(c), &c);
+
+  DiffReport out;
+  std::map<std::string, bool> base_keys;
+  for (const ReportCell& b : baseline.cells()) {
+    const std::string key = cell_key(b);
+    if (!base_keys.emplace(key, true).second) continue;  // duplicate
+    const auto it = cand_by_key.find(key);
+    if (it == cand_by_key.end()) {
+      out.only_baseline.push_back(key);
+      continue;
+    }
+    CellDelta d;
+    d.key = key;
+    d.base_mops = b.result.mops;
+    d.cand_mops = it->second->result.mops;
+    if (d.base_mops > 0) {
+      d.delta_pct = (d.cand_mops - d.base_mops) / d.base_mops * 100.0;
+      d.regression = d.delta_pct < -options.threshold_pct;
+    }
+    if (d.regression) ++out.regressions;
+    out.deltas.push_back(std::move(d));
+  }
+  for (const ReportCell& c : candidate.cells()) {
+    const std::string key = cell_key(c);
+    if (base_keys.find(key) == base_keys.end()) {
+      out.only_candidate.push_back(key);
+      base_keys.emplace(key, false);  // report each missing key once
+    }
+  }
+  return out;
+}
+
+}  // namespace scot::bench

@@ -1,0 +1,38 @@
+// Throughput comparison between two BenchReports, cell-by-cell.  The logic
+// lives here (not in the bench_diff binary) so the threshold behaviour is
+// unit-testable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/report/report.hpp"
+
+namespace scot::bench {
+
+struct DiffOptions {
+  // A cell regresses when its throughput drops by more than this percentage
+  // relative to the baseline.
+  double threshold_pct = 5.0;
+};
+
+struct CellDelta {
+  std::string key;  // cell_key() of the matched pair
+  double base_mops = 0;
+  double cand_mops = 0;
+  double delta_pct = 0;  // (cand - base) / base * 100; + is faster
+  bool regression = false;
+};
+
+struct DiffReport {
+  std::vector<CellDelta> deltas;           // cells present in both reports
+  std::vector<std::string> only_baseline;  // keys the candidate is missing
+  std::vector<std::string> only_candidate;
+  int regressions = 0;
+};
+
+DiffReport diff_reports(const BenchReport& baseline,
+                        const BenchReport& candidate,
+                        const DiffOptions& options = {});
+
+}  // namespace scot::bench

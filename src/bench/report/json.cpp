@@ -1,0 +1,400 @@
+#include "bench/report/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace scot::bench::json {
+
+const Value* Value::find(std::string_view key) const {
+  if (type != Type::kObject) return nullptr;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] == key) return &items[i];
+  }
+  return nullptr;
+}
+
+std::string quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// --- writer ---------------------------------------------------------------
+
+void Writer::newline_indent() {
+  out_ += '\n';
+  out_.append(2 * has_entry_.size(), ' ');
+}
+
+// Comma/indent bookkeeping shared by every value form.  A value directly
+// after key() continues that line; an array element starts its own.
+void Writer::pre_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_entry_.empty()) {
+    if (has_entry_.back()) out_ += ',';
+    has_entry_.back() = true;
+    newline_indent();
+  }
+}
+
+Writer& Writer::begin_object() {
+  pre_value();
+  out_ += '{';
+  has_entry_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_object() {
+  const bool had_entry = has_entry_.back();
+  has_entry_.pop_back();
+  if (had_entry) newline_indent();
+  out_ += '}';
+  return *this;
+}
+
+Writer& Writer::begin_array() {
+  pre_value();
+  out_ += '[';
+  has_entry_.push_back(false);
+  return *this;
+}
+
+Writer& Writer::end_array() {
+  const bool had_entry = has_entry_.back();
+  has_entry_.pop_back();
+  if (had_entry) newline_indent();
+  out_ += ']';
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  if (has_entry_.back()) out_ += ',';
+  has_entry_.back() = true;
+  newline_indent();
+  out_ += quote(k);
+  out_ += ": ";
+  after_key_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  pre_value();
+  out_ += quote(v);
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  pre_value();
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    out_ += "null";
+    return *this;
+  }
+  // Shortest representation that round-trips: try 15 significant digits,
+  // fall back to 17 (always exact for binary64).
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  out_ += buf;
+  return *this;
+}
+
+Writer& Writer::value(std::uint64_t v) {
+  pre_value();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+Writer& Writer::value(std::int64_t v) {
+  pre_value();
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  out_ += buf;
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  pre_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+Writer& Writer::null() {
+  pre_value();
+  out_ += "null";
+  return *this;
+}
+
+// --- parser ---------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view s, std::string* error) : s_(s), error_(error) {}
+
+  bool run(Value& out) {
+    if (!parse_value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool fail(const char* msg) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = std::string(msg) + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (s_.compare(pos_, n, lit) != 0) return fail("invalid literal");
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_value(Value& out, int depth) {
+    if (depth > 64) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"':
+        out.type = Value::Type::kString;
+        return parse_string(out.string);
+      case 't':
+        out.type = Value::Type::kBool;
+        out.boolean = true;
+        return consume_literal("true");
+      case 'f':
+        out.type = Value::Type::kBool;
+        out.boolean = false;
+        return consume_literal("false");
+      case 'n':
+        out.type = Value::Type::kNull;
+        return consume_literal("null");
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_number(Value& out) {
+    const char c = s_[pos_];
+    if (c != '-' && (c < '0' || c > '9')) return fail("unexpected character");
+    // strtod needs NUL termination; copy the longest plausible number slice.
+    std::size_t end = pos_;
+    while (end < s_.size()) {
+      const char d = s_[end];
+      if ((d >= '0' && d <= '9') || d == '-' || d == '+' || d == '.' ||
+          d == 'e' || d == 'E') {
+        ++end;
+      } else {
+        break;
+      }
+    }
+    const std::string slice(s_.substr(pos_, end - pos_));
+    char* parsed_end = nullptr;
+    const double v = std::strtod(slice.c_str(), &parsed_end);
+    if (parsed_end != slice.c_str() + slice.size() || slice.empty()) {
+      return fail("malformed number");
+    }
+    out.type = Value::Type::kNumber;
+    out.number = v;
+    pos_ = end;
+    return true;
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > s_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = s_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad hex digit in \\u escape");
+      }
+    }
+    return true;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (pos_ >= s_.size()) return fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) return fail("truncated escape");
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate: need a pair
+            if (pos_ + 1 >= s_.size() || s_[pos_] != '\\' ||
+                s_[pos_ + 1] != 'u') {
+              return fail("unpaired surrogate");
+            }
+            pos_ += 2;
+            unsigned lo = 0;
+            if (!parse_hex4(lo)) return false;
+            if (lo < 0xDC00 || lo > 0xDFFF) return fail("unpaired surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return fail("unpaired surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parse_array(Value& out, int depth) {
+    ++pos_;  // '['
+    out.type = Value::Type::kArray;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      Value item;
+      if (!parse_value(item, depth + 1)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated array");
+      const char c = s_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parse_object(Value& out, int depth) {
+    ++pos_;  // '{'
+    out.type = Value::Type::kObject;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        return fail("expected string key in object");
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        return fail("expected ':' after object key");
+      }
+      ++pos_;
+      Value item;
+      if (!parse_value(item, depth + 1)) return false;
+      out.keys.push_back(std::move(key));
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ >= s_.size()) return fail("unterminated object");
+      const char c = s_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string* error_;
+};
+
+}  // namespace
+
+std::optional<Value> parse(std::string_view text, std::string* error) {
+  if (error != nullptr) error->clear();
+  Value out;
+  Parser p(text, error);
+  if (!p.run(out)) return std::nullopt;
+  return out;
+}
+
+}  // namespace scot::bench::json

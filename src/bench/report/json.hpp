@@ -1,0 +1,84 @@
+// Dependency-free JSON for the bench telemetry subsystem: a streaming
+// writer (pretty-printed, stable key order, so the committed baseline
+// diffs cleanly in review) and a small recursive-descent parser used by
+// bench_diff to read result files back.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scot::bench::json {
+
+// Parsed JSON value.  Objects keep parallel `keys`/`items` vectors so the
+// member order of the input survives; arrays use `items` alone.  (Parallel
+// vectors rather than vector<pair<string, Value>> because a pair of an
+// incomplete type is formally unsupported.)
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string string;
+  std::vector<std::string> keys;  // object member names, parallel to items
+  std::vector<Value> items;       // array elements or object member values
+
+  bool is_object() const { return type == Type::kObject; }
+  bool is_array() const { return type == Type::kArray; }
+
+  // Object member lookup; nullptr when absent or not an object.
+  const Value* find(std::string_view key) const;
+
+  double num_or(double def) const {
+    return type == Type::kNumber ? number : def;
+  }
+  std::string_view str_or(std::string_view def) const {
+    return type == Type::kString ? std::string_view(string) : def;
+  }
+};
+
+// Whole-document parse; rejects trailing garbage.  `error`, when given,
+// receives a one-line reason with the byte offset.
+std::optional<Value> parse(std::string_view text, std::string* error = nullptr);
+
+// `s` as a double-quoted JSON string with all mandatory escapes applied.
+std::string quote(std::string_view s);
+
+// Streaming writer producing 2-space-indented output.  Usage errors
+// (value with no open array, key outside an object) are programming bugs
+// in the caller; the writer does not try to diagnose them.
+class Writer {
+ public:
+  Writer& begin_object();
+  Writer& end_object();
+  Writer& begin_array();
+  Writer& end_array();
+  Writer& key(std::string_view k);  // must be inside an object
+
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(double v);  // non-finite values serialise as null
+  Writer& value(std::uint64_t v);
+  Writer& value(std::int64_t v);
+  Writer& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  Writer& value(unsigned v) { return value(static_cast<std::uint64_t>(v)); }
+  Writer& value(bool v);
+  Writer& null();
+
+  std::string take() { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+ private:
+  void pre_value();
+  void newline_indent();
+
+  std::string out_;
+  std::vector<bool> has_entry_;  // per open scope: wrote at least one entry
+  bool after_key_ = false;
+};
+
+}  // namespace scot::bench::json

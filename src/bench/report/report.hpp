@@ -1,0 +1,71 @@
+// BenchReport: run metadata plus one entry per benchmark cell, serialised
+// to the versioned scot-bench JSON schema (documented in README
+// "Bench telemetry & regression gate").  bench_cli and the figure/table
+// binaries write these files; bench_diff reads two of them back.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/options.hpp"
+
+namespace scot::bench {
+
+inline constexpr const char* kReportSchemaName = "scot-bench";
+inline constexpr int kReportSchemaVersion = 1;
+
+struct ReportMeta {
+  std::string schema = kReportSchemaName;
+  int schema_version = kReportSchemaVersion;
+  std::string git_sha;        // configure-time HEAD (see src/CMakeLists.txt)
+  std::string compiler;       // e.g. "gcc 12.2.0"
+  std::string flags;          // CXX flags of the active build type
+  std::string build_type;     // Release / RelWithDebInfo / ...
+  unsigned hardware_threads = 0;
+  std::string timestamp_utc;  // ISO 8601, e.g. "2026-07-30T12:00:00Z"
+};
+
+// Metadata of the running binary: build-time macros + runtime clock.
+ReportMeta current_meta();
+
+struct ReportCell {
+  std::string bench;  // binary family, e.g. "fig8"
+  std::string label;  // grid title, e.g. "Fig 8a: Harris-Michael list, ..."
+  CaseConfig cfg;
+  CaseResult result;
+};
+
+// Stable identity of a cell across runs: everything that defines the
+// workload, none of the measurements.  seed/millis/runs are deliberately
+// excluded so a short smoke run can be compared against the committed
+// baseline.
+std::string cell_key(const ReportCell& cell);
+
+class BenchReport {
+ public:
+  BenchReport() : meta_(current_meta()) {}
+  explicit BenchReport(ReportMeta meta) : meta_(std::move(meta)) {}
+
+  void add(std::string bench, std::string label, const CaseConfig& cfg,
+           const CaseResult& result);
+
+  const ReportMeta& meta() const { return meta_; }
+  const std::vector<ReportCell>& cells() const { return cells_; }
+
+  std::string to_json() const;
+  bool write_file(const std::string& path, std::string* error = nullptr) const;
+
+  // Strict load: wrong schema name, unsupported version, or an
+  // unresolvable scheme/structure name is an error, not a skipped cell.
+  static std::optional<BenchReport> from_json(std::string_view text,
+                                              std::string* error = nullptr);
+  static std::optional<BenchReport> load_file(const std::string& path,
+                                              std::string* error = nullptr);
+
+ private:
+  ReportMeta meta_;
+  std::vector<ReportCell> cells_;
+};
+
+}  // namespace scot::bench

@@ -10,18 +10,33 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "bench/options.hpp"
+#include "common/affinity.hpp"
 #include "common/backoff.hpp"
 #include "common/timing.hpp"
 #include "common/xorshift.hpp"
+#include "common/zipf.hpp"
 #include "core/core.hpp"
 
 namespace scot::bench {
 
 namespace detail {
+
+// SplitMix64 finalizer, used to decorrelate Zipfian ranks from key order:
+// without it the hot keys would cluster at the front of the ordered
+// structures and shorten exactly the traversals the benchmark measures.
+inline std::uint64_t scramble(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
 
 template <class DS, class Smr>
 std::unique_ptr<DS> make_structure(Smr& smr, const CaseConfig& cfg) {
@@ -47,12 +62,15 @@ CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
   auto ds = make_structure<DS, Smr>(smr, cfg);
 
   // --- parallel prefill: unique keys, 50% of the range ---
+  // Prefill always draws uniformly: the key *distribution* shapes which
+  // keys the measured phase touches, not what the structure contains.
   const std::uint64_t target = cfg.key_range / 2;
   {
     std::atomic<std::uint64_t> inserted{0};
     std::vector<std::thread> ts;
     for (unsigned t = 0; t < cfg.threads; ++t) {
       ts.emplace_back([&, t] {
+        if (cfg.pin_threads) pin_this_thread(t);
         auto& h = smr.handle(t);
         Xoshiro256 rng(run_seed * 0x51ed2701 + t);
         while (inserted.load(std::memory_order_relaxed) < target) {
@@ -67,29 +85,55 @@ CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
   }
 
   // --- measured phase ---
+  // Zipfian state is shared read-only by the workers; each worker keeps its
+  // own RNG, so one draw per op stays deterministic per (seed, thread).
+  std::optional<Zipf> zipf;
+  if (cfg.key_dist == KeyDist::kZipfian)
+    zipf.emplace(cfg.key_range, cfg.zipf_theta);
+
   std::atomic<bool> go{false};
   std::atomic<bool> stop{false};
   std::vector<std::uint64_t> ops(cfg.threads, 0);
+  std::vector<std::uint64_t> reads(cfg.threads, 0);
+  std::vector<std::uint64_t> inserts(cfg.threads, 0);
+  std::vector<std::uint64_t> removes(cfg.threads, 0);
   std::vector<std::thread> workers;
   for (unsigned t = 0; t < cfg.threads; ++t) {
     workers.emplace_back([&, t] {
+      if (cfg.pin_threads) pin_this_thread(t);
       auto& h = smr.handle(t);
       Xoshiro256 rng(run_seed * 0x9e3779b9 + 1000003ULL * t);
       while (!go.load(std::memory_order_acquire)) cpu_relax();
-      std::uint64_t local = 0;
-      while (!stop.load(std::memory_order_relaxed)) {
-        const std::uint64_t k = rng.next_in(cfg.key_range);
+      std::uint64_t local = 0, nread = 0, nins = 0, ndel = 0;
+      const std::uint64_t budget = cfg.op_budget;
+      for (;;) {
+        if (budget != 0) {
+          if (local >= budget) break;
+        } else if (stop.load(std::memory_order_relaxed)) {
+          break;
+        }
+        // rank+1: the SplitMix64 finalizer has a fixed point at 0, which
+        // would pin the hottest rank to key 0 at the head of the list.
+        const std::uint64_t k =
+            zipf ? scramble(zipf->next(rng) + 1) % cfg.key_range
+                 : rng.next_in(cfg.key_range);
         const auto roll = static_cast<int>(rng.next_in(100));
         if (roll < cfg.read_pct) {
           ds->contains(h, k);
+          ++nread;
         } else if (roll < cfg.read_pct + cfg.insert_pct) {
           ds->insert(h, k, k);
+          ++nins;
         } else {
           ds->erase(h, k);
+          ++ndel;
         }
         ++local;
       }
       ops[t] = local;
+      reads[t] = nread;
+      inserts[t] = nins;
+      removes[t] = ndel;
     });
   }
 
@@ -114,8 +158,10 @@ CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
 
   const std::uint64_t t0 = now_ns();
   go.store(true, std::memory_order_release);
-  std::this_thread::sleep_for(std::chrono::milliseconds(cfg.millis));
-  stop.store(true, std::memory_order_relaxed);
+  if (cfg.op_budget == 0) {  // timed run; a budget run stops by itself
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg.millis));
+    stop.store(true, std::memory_order_relaxed);
+  }
   for (auto& w : workers) w.join();
   const std::uint64_t t1 = now_ns();
   if (cfg.sample_memory) {
@@ -126,6 +172,9 @@ CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
   CaseResult r;
   r.seconds = ns_to_sec(t1 - t0);
   for (const auto o : ops) r.total_ops += o;
+  for (const auto o : reads) r.reads += o;
+  for (const auto o : inserts) r.inserts += o;
+  for (const auto o : removes) r.removes += o;
   r.mops = static_cast<double>(r.total_ops) / r.seconds / 1e6;
   if (pending_samples > 0)
     r.avg_pending = pending_sum / static_cast<double>(pending_samples);

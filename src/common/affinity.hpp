@@ -1,0 +1,32 @@
+// Thread-affinity pinning for the benchmark worker loop.  Pinning removes
+// scheduler migration noise from throughput numbers; it is opt-in (--pin)
+// because on a shared CI runner pinning to busy cores can *add* noise.
+#pragma once
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace scot {
+
+// Pins the calling thread to CPU `cpu % hardware_concurrency`.  Returns
+// true on success; false (and leaves affinity untouched) on failure or on
+// platforms without pthread affinity.
+inline bool pin_this_thread(unsigned cpu) {
+#if defined(__linux__)
+  const unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % n, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace scot

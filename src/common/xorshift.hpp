@@ -42,6 +42,12 @@ class Xoshiro256 {
         (static_cast<unsigned __int128>(next()) * bound) >> 64);
   }
 
+  // Uniform double in [0, 1) with 53 bits of precision (the standard
+  // top-bits construction from the xoshiro authors).
+  constexpr double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,63 @@
+// Zipfian rank generator (Gray et al., "Quickly generating billion-record
+// synthetic databases", SIGMOD '94 — the same construction YCSB uses):
+// ranks in [0, n), rank 0 the most popular, skew theta in (0, 1) where
+// larger theta is more skewed (YCSB's default hot-spot constant is 0.99).
+//
+// zeta(n, theta) is computed once at construction (O(n)), so build one
+// instance per benchmark run and share it read-only across worker threads;
+// next() itself is allocation-free and thread-safe given a per-thread RNG.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/xorshift.hpp"
+
+namespace scot {
+
+class Zipf {
+ public:
+  Zipf(std::uint64_t n, double theta)
+      : n_(n < 1 ? 1 : n),
+        theta_(theta),
+        zetan_(zeta(n_, theta)),
+        half_pow_theta_(std::pow(0.5, theta)),
+        alpha_(1.0 / (1.0 - theta)),
+        // eta is only reached when n >= 3 (smaller n resolves via the
+        // uz < 1 / uz < 1 + 0.5^theta branches), so the 0/0 it would
+        // produce at n <= 2 is never consulted.
+        eta_((1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta)) /
+             (1.0 - zeta(2, theta) / zetan_)) {}
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  std::uint64_t next(Xoshiro256& rng) const {
+    const double u = rng.next_double();
+    if (n_ == 1) return 0;
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + half_pow_theta_) return 1;
+    const auto rank = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return rank >= n_ ? n_ - 1 : rank;  // floating slack at u -> 1
+  }
+
+ private:
+  static double zeta(std::uint64_t n, double theta) {
+    double sum = 0;
+    for (std::uint64_t i = 1; i <= n; ++i)
+      sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    return sum;
+  }
+
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double half_pow_theta_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace scot

@@ -1,0 +1,117 @@
+// Threshold logic of the bench regression gate (src/bench/report/diff.hpp):
+// what counts as a regression, what is noise, and how missing cells are
+// reported.  The bench_diff binary is a thin shell over diff_reports().
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bench/report/diff.hpp"
+#include "bench/report/report.hpp"
+
+namespace scot::bench {
+namespace {
+
+CaseConfig cfg_for(SchemeId scheme, unsigned threads) {
+  CaseConfig cfg;
+  cfg.scheme = scheme;
+  cfg.threads = threads;
+  return cfg;
+}
+
+CaseResult result_mops(double mops) {
+  CaseResult r;
+  r.mops = mops;
+  return r;
+}
+
+BenchReport report_with(
+    std::initializer_list<std::pair<unsigned, double>> cells) {
+  BenchReport report;  // metadata irrelevant to the diff
+  for (const auto& [threads, mops] : cells) {
+    report.add("fig8", "grid", cfg_for(SchemeId::kEBR, threads),
+               result_mops(mops));
+  }
+  return report;
+}
+
+TEST(BenchDiff, FlagsDropsBeyondThresholdOnly) {
+  const BenchReport base = report_with({{1, 10.0}, {2, 10.0}, {4, 10.0}});
+  const BenchReport cand = report_with({{1, 9.6}, {2, 9.4}, {4, 12.0}});
+  const DiffReport d = diff_reports(base, cand, DiffOptions{5.0});
+  ASSERT_EQ(d.deltas.size(), 3u);
+  EXPECT_FALSE(d.deltas[0].regression) << "-4% is within the 5% threshold";
+  EXPECT_TRUE(d.deltas[1].regression) << "-6% is beyond the 5% threshold";
+  EXPECT_FALSE(d.deltas[2].regression) << "improvements never regress";
+  EXPECT_EQ(d.regressions, 1);
+  EXPECT_NEAR(d.deltas[0].delta_pct, -4.0, 1e-9);
+  EXPECT_NEAR(d.deltas[2].delta_pct, 20.0, 1e-9);
+}
+
+TEST(BenchDiff, ExactThresholdIsNotARegression) {
+  const BenchReport base = report_with({{1, 10.0}});
+  const BenchReport cand = report_with({{1, 9.5}});
+  EXPECT_EQ(diff_reports(base, cand, DiffOptions{5.0}).regressions, 0);
+}
+
+TEST(BenchDiff, ZeroThresholdFlagsAnyDrop) {
+  const BenchReport base = report_with({{1, 10.0}});
+  const BenchReport cand = report_with({{1, 9.999}});
+  EXPECT_EQ(diff_reports(base, cand, DiffOptions{0.0}).regressions, 1);
+  EXPECT_EQ(diff_reports(base, base, DiffOptions{0.0}).regressions, 0);
+}
+
+TEST(BenchDiff, ZeroBaselineNeverRegresses) {
+  // A zero-throughput baseline cell is a broken measurement; flagging the
+  // candidate for it would make the gate unfixable.
+  const BenchReport base = report_with({{1, 0.0}});
+  const BenchReport cand = report_with({{1, 0.0}});
+  const DiffReport d = diff_reports(base, cand, DiffOptions{5.0});
+  ASSERT_EQ(d.deltas.size(), 1u);
+  EXPECT_FALSE(d.deltas[0].regression);
+}
+
+TEST(BenchDiff, ReportsMissingCellsBothWays) {
+  const BenchReport base = report_with({{1, 10.0}, {2, 10.0}});
+  const BenchReport cand = report_with({{2, 10.0}, {4, 10.0}});
+  const DiffReport d = diff_reports(base, cand, DiffOptions{5.0});
+  ASSERT_EQ(d.deltas.size(), 1u);
+  ASSERT_EQ(d.only_baseline.size(), 1u);
+  ASSERT_EQ(d.only_candidate.size(), 1u);
+  EXPECT_NE(d.only_baseline[0].find("t1"), std::string::npos);
+  EXPECT_NE(d.only_candidate[0].find("t4"), std::string::npos);
+  EXPECT_EQ(d.regressions, 0);
+}
+
+TEST(BenchDiff, MatchingIgnoresSeedDurationRuns) {
+  BenchReport base, cand;
+  CaseConfig a = cfg_for(SchemeId::kHP, 2);
+  a.seed = 42;
+  a.millis = 300;
+  a.runs = 5;
+  base.add("fig8", "grid", a, result_mops(10.0));
+  CaseConfig b = a;
+  b.seed = 7;     // a smoke run with a different seed, shorter duration,
+  b.millis = 30;  // and fewer runs must still match the baseline cell
+  b.runs = 1;
+  cand.add("fig8", "grid", b, result_mops(2.0));
+  const DiffReport d = diff_reports(base, cand, DiffOptions{5.0});
+  ASSERT_EQ(d.deltas.size(), 1u);
+  EXPECT_TRUE(d.deltas[0].regression);
+}
+
+TEST(BenchDiff, DistinguishesDistributions) {
+  BenchReport base, cand;
+  CaseConfig uniform = cfg_for(SchemeId::kEBR, 1);
+  CaseConfig zipf = uniform;
+  zipf.key_dist = KeyDist::kZipfian;
+  base.add("fig8", "grid", uniform, result_mops(10.0));
+  cand.add("fig8", "grid", zipf, result_mops(1.0));
+  const DiffReport d = diff_reports(base, cand, DiffOptions{5.0});
+  EXPECT_TRUE(d.deltas.empty())
+      << "a zipfian run must not be compared against a uniform baseline";
+  EXPECT_EQ(d.only_baseline.size(), 1u);
+  EXPECT_EQ(d.only_candidate.size(), 1u);
+}
+
+}  // namespace
+}  // namespace scot::bench

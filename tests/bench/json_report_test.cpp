@@ -1,0 +1,278 @@
+// Unit tests for the bench telemetry subsystem's JSON layer
+// (src/bench/report/json.hpp) and the BenchReport model
+// (src/bench/report/report.hpp): writer escaping, parser strictness, and
+// the serialise -> parse round trip the bench_diff gate depends on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "bench/report/json.hpp"
+#include "bench/report/report.hpp"
+
+namespace scot::bench {
+namespace {
+
+// --- writer ---------------------------------------------------------------
+
+TEST(JsonWriter, EscapesMandatoryCharacters) {
+  json::Writer w;
+  w.value(std::string_view("a\"b\\c\nd\te\x01" "f"));
+  EXPECT_EQ(w.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+}
+
+TEST(JsonWriter, QuoteRoundTripsThroughParse) {
+  const std::string nasty = "quote\" back\\slash \n\r\t \x02 ümlaut";
+  const auto parsed = json::parse(json::quote(nasty));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->type, json::Value::Type::kString);
+  EXPECT_EQ(parsed->string, nasty);
+}
+
+TEST(JsonWriter, NestedStructureShape) {
+  json::Writer w;
+  w.begin_object();
+  w.key("a").value(std::uint64_t{1});
+  w.key("b").begin_array();
+  w.value(std::int64_t{-2});
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.key("c").begin_object().end_object();
+  w.end_object();
+  const auto parsed = json::parse(w.str());
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_TRUE(parsed->is_object());
+  EXPECT_EQ(parsed->find("a")->num_or(0), 1.0);
+  const json::Value* b = parsed->find("b");
+  ASSERT_TRUE(b != nullptr && b->is_array());
+  ASSERT_EQ(b->items.size(), 3u);
+  EXPECT_EQ(b->items[0].num_or(0), -2.0);
+  EXPECT_TRUE(b->items[1].boolean);
+  EXPECT_EQ(b->items[2].type, json::Value::Type::kNull);
+  ASSERT_TRUE(parsed->find("c") != nullptr);
+  EXPECT_TRUE(parsed->find("c")->is_object());
+}
+
+TEST(JsonWriter, DoublesRoundTripExactly) {
+  for (const double v : {0.0, 1.0, -1.5, 0.1, 3.220622481833618, 1e-12,
+                         9.87654321e20}) {
+    json::Writer w;
+    w.value(v);
+    const auto parsed = json::parse(w.str());
+    ASSERT_TRUE(parsed.has_value()) << w.str();
+    EXPECT_EQ(parsed->number, v) << w.str();
+  }
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  json::Writer w;
+  w.value(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(w.str(), "null");
+}
+
+// --- parser ---------------------------------------------------------------
+
+TEST(JsonParse, AcceptsScalarsAndSkipsWhitespace) {
+  EXPECT_EQ(json::parse(" 42 ")->number, 42.0);
+  EXPECT_EQ(json::parse("-1.5e3")->number, -1500.0);
+  EXPECT_TRUE(json::parse("\ttrue\n")->boolean);
+  EXPECT_EQ(json::parse("null")->type, json::Value::Type::kNull);
+  EXPECT_EQ(json::parse("\"hi\"")->string, "hi");
+}
+
+TEST(JsonParse, DecodesUnicodeEscapes) {
+  EXPECT_EQ(json::parse("\"\\u0041\"")->string, "A");
+  EXPECT_EQ(json::parse("\"\\u00fc\"")->string, "\xc3\xbc");       // ü
+  EXPECT_EQ(json::parse("\"\\ud83d\\ude00\"")->string,
+            "\xf0\x9f\x98\x80");  // 😀 via surrogate pair
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  std::string error;
+  const char* bad[] = {
+      "",           "{",           "[1,",       "{\"a\":}",
+      "tru",        "\"unterm",    "01x",       "{\"a\" 1}",
+      "[1] trailing", "\"\\q\"",   "\"\\ud800\"",  // unpaired surrogate
+      "{a: 1}",     "[1,,2]",
+  };
+  for (const char* s : bad) {
+    error.clear();
+    EXPECT_FALSE(json::parse(s, &error).has_value()) << "'" << s << "'";
+    EXPECT_FALSE(error.empty()) << "'" << s << "'";
+  }
+}
+
+TEST(JsonParse, RejectsAbsurdNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(json::parse(deep).has_value());
+}
+
+TEST(JsonParse, FindLooksUpObjectMembers) {
+  const auto v = json::parse("{\"x\": 1, \"y\": \"z\"}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->find("x") != nullptr);
+  EXPECT_EQ(v->find("y")->str_or(""), "z");
+  EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+// --- BenchReport ----------------------------------------------------------
+
+CaseConfig sample_cfg() {
+  CaseConfig cfg;
+  cfg.structure = StructureId::kNMTree;
+  cfg.scheme = SchemeId::kIBR;
+  cfg.threads = 4;
+  cfg.key_range = 10000;
+  cfg.read_pct = 90;
+  cfg.insert_pct = 5;
+  cfg.delete_pct = 5;
+  cfg.millis = 123;
+  cfg.runs = 3;
+  cfg.seed = 99;
+  cfg.key_dist = KeyDist::kZipfian;
+  cfg.zipf_theta = 0.75;
+  cfg.pin_threads = true;
+  cfg.op_budget = 5000;
+  return cfg;
+}
+
+CaseResult sample_result() {
+  CaseResult r;
+  r.mops = 1.25;
+  r.total_ops = 20000;
+  r.seconds = 0.016;
+  r.avg_pending = 17.5;
+  r.peak_pending = 42;
+  r.restarts = 7;
+  r.recoveries = 2;
+  r.reads = 18000;
+  r.inserts = 1000;
+  r.removes = 1000;
+  return r;
+}
+
+TEST(BenchReport, SchemaHeaderAndMetadataPresent) {
+  BenchReport report;
+  const std::string text = report.to_json();
+  const auto parsed = json::parse(text);
+  ASSERT_TRUE(parsed.has_value()) << text;
+  EXPECT_EQ(parsed->find("schema")->str_or(""), kReportSchemaName);
+  EXPECT_EQ(parsed->find("schema_version")->num_or(0), kReportSchemaVersion);
+  const json::Value* meta = parsed->find("meta");
+  ASSERT_TRUE(meta != nullptr && meta->is_object());
+  for (const char* key : {"git_sha", "compiler", "flags", "build_type",
+                          "timestamp_utc"}) {
+    ASSERT_TRUE(meta->find(key) != nullptr) << key;
+    EXPECT_FALSE(std::string(meta->find(key)->str_or("")).empty()) << key;
+  }
+  EXPECT_TRUE(parsed->find("cells")->is_array());
+}
+
+TEST(BenchReport, RoundTripPreservesCells) {
+  BenchReport report;
+  report.add("fig8", "Fig 8a: tree, range 10,000", sample_cfg(),
+             sample_result());
+  CaseConfig uniform = sample_cfg();
+  uniform.key_dist = KeyDist::kUniform;
+  uniform.scheme = SchemeId::kEBR;
+  report.add("fig8", "second cell", uniform, CaseResult{});
+
+  std::string error;
+  const auto loaded = BenchReport::from_json(report.to_json(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->cells().size(), 2u);
+
+  const ReportCell& c = loaded->cells()[0];
+  EXPECT_EQ(c.bench, "fig8");
+  EXPECT_EQ(c.label, "Fig 8a: tree, range 10,000");
+  EXPECT_EQ(c.cfg.structure, StructureId::kNMTree);
+  EXPECT_EQ(c.cfg.scheme, SchemeId::kIBR);
+  EXPECT_EQ(c.cfg.threads, 4u);
+  EXPECT_EQ(c.cfg.key_range, 10000u);
+  EXPECT_EQ(c.cfg.read_pct, 90);
+  EXPECT_EQ(c.cfg.key_dist, KeyDist::kZipfian);
+  EXPECT_DOUBLE_EQ(c.cfg.zipf_theta, 0.75);
+  EXPECT_TRUE(c.cfg.pin_threads);
+  EXPECT_EQ(c.cfg.op_budget, 5000u);
+  EXPECT_DOUBLE_EQ(c.result.mops, 1.25);
+  EXPECT_EQ(c.result.total_ops, 20000u);
+  EXPECT_EQ(c.result.peak_pending, 42);
+  EXPECT_EQ(c.result.reads, 18000u);
+  EXPECT_EQ(loaded->cells()[1].cfg.scheme, SchemeId::kEBR);
+  EXPECT_EQ(loaded->cells()[1].cfg.key_dist, KeyDist::kUniform);
+
+  // The identity key survives the round trip, so baselines written by an
+  // older binary still match cells produced by a newer one.
+  EXPECT_EQ(cell_key(report.cells()[0]), cell_key(loaded->cells()[0]));
+}
+
+TEST(BenchReport, CellKeySeparatesWorkloadsButNotMeasurements) {
+  ReportCell a{"fig8", "label", sample_cfg(), sample_result()};
+  ReportCell b = a;
+  b.result.mops = 999;  // measurements do not change identity
+  b.cfg.seed = 1;       // nor do seed/duration/runs
+  b.cfg.millis = 9999;
+  b.cfg.runs = 7;
+  EXPECT_EQ(cell_key(a), cell_key(b));
+
+  ReportCell c = a;
+  c.cfg.threads = 8;
+  EXPECT_NE(cell_key(a), cell_key(c));
+  ReportCell d = a;
+  d.cfg.scheme = SchemeId::kHP;
+  EXPECT_NE(cell_key(a), cell_key(d));
+  ReportCell e = a;
+  e.cfg.key_dist = KeyDist::kUniform;
+  EXPECT_NE(cell_key(a), cell_key(e));
+}
+
+TEST(BenchReport, FromJsonRejectsForeignAndFutureFiles) {
+  std::string error;
+  EXPECT_FALSE(BenchReport::from_json("{}", &error).has_value());
+  EXPECT_NE(error.find("schema"), std::string::npos) << error;
+  EXPECT_FALSE(
+      BenchReport::from_json("{\"schema\": \"other\", \"schema_version\": 1}")
+          .has_value());
+  EXPECT_FALSE(
+      BenchReport::from_json(
+          "{\"schema\": \"scot-bench\", \"schema_version\": 999, "
+          "\"cells\": []}",
+          &error)
+          .has_value());
+  EXPECT_NE(error.find("schema_version"), std::string::npos) << error;
+  EXPECT_FALSE(
+      BenchReport::from_json(
+          "{\"schema\": \"scot-bench\", \"schema_version\": 1}", &error)
+          .has_value())
+      << "missing cells array must fail";
+  // Unknown scheme names are a hard error, not a skipped cell.
+  EXPECT_FALSE(
+      BenchReport::from_json(
+          "{\"schema\": \"scot-bench\", \"schema_version\": 1, \"cells\": "
+          "[{\"structure\": \"HList\", \"scheme\": \"QSBR\"}]}",
+          &error)
+          .has_value());
+}
+
+TEST(BenchReport, WriteAndLoadFile) {
+  const std::string path =
+      testing::TempDir() + "scot_json_report_test.json";
+  BenchReport report;
+  report.add("cli", "HList under EBR", sample_cfg(), sample_result());
+  std::string error;
+  ASSERT_TRUE(report.write_file(path, &error)) << error;
+  const auto loaded = BenchReport::load_file(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->cells().size(), 1u);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(
+      BenchReport::load_file("/nonexistent/dir/x.json", &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace scot::bench

@@ -175,6 +175,163 @@ TEST(Options, ParseCliRejectsMixNotSummingTo100) {
   EXPECT_TRUE(parse(args).has_value());
 }
 
+// --- optional flag layer (--seed/--json/--dist/...) -----------------------
+
+TEST(Options, UnknownFlagsAreRejectedNotIgnored) {
+  auto args = kGoodArgs;
+  args.push_back("--frobnicate");
+  std::string error;
+  EXPECT_FALSE(parse(args, &error).has_value());
+  EXPECT_NE(error.find("unknown flag '--frobnicate'"), std::string::npos)
+      << error;
+}
+
+TEST(Options, SeedFlagPlumbsIntoConfig) {
+  auto args = kGoodArgs;
+  args.push_back("--seed");
+  args.push_back("12345");
+  const auto cfg = parse(args);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->seed, 12345u);
+  EXPECT_EQ(parse(kGoodArgs)->seed, 42u) << "default seed is fixed";
+}
+
+TEST(Options, MalformedFlagValuesAreRejected) {
+  const struct {
+    const char* flag;
+    const char* value;  // nullptr = flag given without a value
+  } cases[] = {
+      {"--seed", "abc"},    {"--seed", "-1"},      {"--seed", nullptr},
+      {"--json", nullptr},  {"--dist", "normal"},  {"--dist", nullptr},
+      {"--theta", "0"},     {"--theta", "1"},      {"--theta", "1.5"},
+      {"--theta", "x"},     {"--preset", "spicy"}, {"--preset", nullptr},
+      {"--ops", "0"},       {"--ops", "-5"},       {"--ops", "1x"},
+      // A following flag is not a value: --json must not swallow --pin.
+      {"--json", "--pin"},  {"--seed", "--pin"},
+  };
+  for (const auto& c : cases) {
+    auto args = kGoodArgs;
+    args.push_back(c.flag);
+    if (c.value != nullptr) args.push_back(c.value);
+    std::string error;
+    EXPECT_FALSE(parse(args, &error).has_value())
+        << c.flag << " " << (c.value ? c.value : "<none>");
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Options, FlagsMayAppearAnywhere) {
+  std::vector<const char*> args = {"--seed", "9", "listlf", "2",  "512",
+                                   "1",      "50", "25",     "25", "EBR",
+                                   "--pin",  "4"};
+  const auto cfg = parse(args);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->seed, 9u);
+  EXPECT_TRUE(cfg->pin_threads);
+  EXPECT_EQ(cfg->threads, 4u);
+}
+
+TEST(Options, DistAndThetaConfigureZipfian) {
+  auto args = kGoodArgs;
+  for (const char* extra : {"--dist", "zipfian", "--theta", "0.8"})
+    args.push_back(extra);
+  const auto cfg = parse(args);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->key_dist, KeyDist::kZipfian);
+  EXPECT_DOUBLE_EQ(cfg->zipf_theta, 0.8);
+  EXPECT_EQ(parse(kGoodArgs)->key_dist, KeyDist::kUniform);
+}
+
+TEST(Options, PresetOverridesPositionalMix) {
+  auto args = kGoodArgs;
+  args.push_back("--preset");
+  args.push_back("read-mostly");
+  const auto cfg = parse(args);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->read_pct, 90);
+  EXPECT_EQ(cfg->insert_pct, 5);
+  EXPECT_EQ(cfg->delete_pct, 5);
+}
+
+TEST(Options, OpsFlagSetsBudget) {
+  auto args = kGoodArgs;
+  args.push_back("--ops");
+  args.push_back("100000");
+  const auto cfg = parse(args);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->op_budget, 100000u);
+  EXPECT_EQ(parse(kGoodArgs)->op_budget, 0u) << "default is a timed run";
+}
+
+TEST(Options, JsonPathSurfacesThroughBenchFlags) {
+  auto args = kGoodArgs;
+  args.push_back("--json");
+  args.push_back("out.json");
+  args.insert(args.begin(), "bench_cli");
+  std::string error;
+  BenchFlags flags;
+  const auto cfg = parse_cli(static_cast<int>(args.size()), args.data(),
+                             &error, &flags);
+  ASSERT_TRUE(cfg.has_value()) << error;
+  EXPECT_EQ(flags.json_path, "out.json");
+}
+
+TEST(Options, HelpFlagSurfacesEvenThoughParseFails) {
+  std::vector<const char*> args = {"bench_cli", "--help"};
+  std::string error;
+  BenchFlags flags;
+  EXPECT_FALSE(parse_cli(static_cast<int>(args.size()), args.data(), &error,
+                         &flags)
+                   .has_value());
+  EXPECT_TRUE(flags.help);
+}
+
+TEST(Options, PresetNamesResolve) {
+  ASSERT_TRUE(preset_from_name("mixed").has_value());
+  EXPECT_EQ(preset_from_name("mixed")->read_pct, 50);
+  ASSERT_TRUE(preset_from_name("write-heavy").has_value());
+  EXPECT_EQ(preset_from_name("write-heavy")->read_pct, 10);
+  EXPECT_FALSE(preset_from_name("MIXED").has_value()) << "case-exact";
+  EXPECT_FALSE(preset_from_name("").has_value());
+}
+
+TEST(Options, KeyDistNamesRoundTrip) {
+  EXPECT_EQ(key_dist_from_name("uniform"), KeyDist::kUniform);
+  EXPECT_EQ(key_dist_from_name("zipfian"), KeyDist::kZipfian);
+  EXPECT_EQ(key_dist_from_name("zipf"), KeyDist::kZipfian) << "shorthand";
+  EXPECT_FALSE(key_dist_from_name("gaussian").has_value());
+  EXPECT_EQ(key_dist_from_name(key_dist_name(KeyDist::kUniform)),
+            KeyDist::kUniform);
+  EXPECT_EQ(key_dist_from_name(key_dist_name(KeyDist::kZipfian)),
+            KeyDist::kZipfian);
+}
+
+TEST(Options, StructureNamesRoundTrip) {
+  for (StructureId s : kAllStructures) {
+    const auto back = structure_from_name(structure_name(s));
+    ASSERT_TRUE(back.has_value()) << structure_name(s);
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_FALSE(structure_from_name("BTree").has_value());
+}
+
+TEST(Options, ParseDoubleIsStrict) {
+  double v = -1;
+  EXPECT_TRUE(parse_double("0.5", v));
+  EXPECT_DOUBLE_EQ(v, 0.5);
+  EXPECT_TRUE(parse_double("-2.25", v));
+  EXPECT_DOUBLE_EQ(v, -2.25);
+  EXPECT_TRUE(parse_double(".5", v));
+  EXPECT_FALSE(parse_double("", v));
+  EXPECT_FALSE(parse_double(" 0.5", v));
+  EXPECT_FALSE(parse_double("0.5 ", v));
+  EXPECT_FALSE(parse_double("0.5x", v));
+  EXPECT_FALSE(parse_double("inf", v));
+  EXPECT_FALSE(parse_double("nan", v));
+  EXPECT_FALSE(parse_double("0x.8p0", v)) << "C99 hex floats";
+  EXPECT_FALSE(parse_double("0X1p3", v));
+}
+
 TEST(Options, ParseDecimalIsStrict) {
   long long v = -1;
   EXPECT_TRUE(parse_decimal("42", v));

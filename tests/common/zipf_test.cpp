@@ -1,0 +1,89 @@
+// Distribution sanity for the Zipfian workload generator
+// (src/common/zipf.hpp): bounds, head-heaviness, skew monotonicity in
+// theta, and stream determinism.  Fixed RNG seeds keep every assertion
+// deterministic — margins are wide enough that these are shape checks, not
+// statistical flakes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/xorshift.hpp"
+#include "common/zipf.hpp"
+
+namespace scot {
+namespace {
+
+std::vector<std::uint64_t> histogram(const Zipf& z, std::uint64_t samples,
+                                     std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> counts(z.n(), 0);
+  for (std::uint64_t i = 0; i < samples; ++i) ++counts[z.next(rng)];
+  return counts;
+}
+
+TEST(Zipf, RanksStayInBounds) {
+  const Zipf z(100, 0.99);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100000; ++i) {
+    EXPECT_LT(z.next(rng), 100u);
+  }
+}
+
+TEST(Zipf, DegenerateRangesResolve) {
+  Xoshiro256 rng(2);
+  const Zipf one(1, 0.99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(one.next(rng), 0u);
+  const Zipf two(2, 0.5);
+  bool saw[2] = {false, false};
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t r = two.next(rng);
+    ASSERT_LT(r, 2u);
+    saw[r] = true;
+  }
+  EXPECT_TRUE(saw[0]);
+  EXPECT_TRUE(saw[1]);
+  // Zipf(0, ...) clamps to n = 1 rather than dividing by zero.
+  const Zipf zero(0, 0.9);
+  EXPECT_EQ(zero.n(), 1u);
+  EXPECT_EQ(zero.next(rng), 0u);
+}
+
+TEST(Zipf, HeadIsHeavierThanTail) {
+  const Zipf z(1000, 0.99);
+  const auto counts = histogram(z, 200000, 3);
+  // Rank 0 beats a mid-rank and the first decile carries far more mass
+  // than the last decile — the defining shape of a Zipfian.
+  EXPECT_GT(counts[0], counts[500] * 10);
+  std::uint64_t first_decile = 0, last_decile = 0;
+  for (int i = 0; i < 100; ++i) first_decile += counts[i];
+  for (int i = 900; i < 1000; ++i) last_decile += counts[i];
+  EXPECT_GT(first_decile, last_decile * 5);
+}
+
+TEST(Zipf, SkewGrowsMonotonicallyWithTheta) {
+  std::uint64_t previous_head = 0;
+  for (const double theta : {0.2, 0.5, 0.8, 0.99}) {
+    const Zipf z(1000, theta);
+    const auto counts = histogram(z, 200000, 4);
+    std::uint64_t head = 0;
+    for (int i = 0; i < 10; ++i) head += counts[i];
+    EXPECT_GT(head, previous_head) << "theta " << theta;
+    previous_head = head;
+  }
+}
+
+TEST(Zipf, SameSeedSameStream) {
+  const Zipf z(512, 0.9);
+  Xoshiro256 a(42), b(42), c(43);
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t ra = z.next(a);
+    EXPECT_EQ(ra, z.next(b));
+    diverged = diverged || ra != z.next(c);
+  }
+  EXPECT_TRUE(diverged) << "different seeds must give different streams";
+}
+
+}  // namespace
+}  // namespace scot
