@@ -1,12 +1,32 @@
-// Microbenchmarks of the SMR primitives (google-benchmark): the per-call
-// cost of protect / dup / begin+end / alloc+retire for every scheme.  These
-// expose the mechanism behind the figure-level results: HP pays a fence per
-// protect, HE amortizes it per era change, IBR/Hyaline make dup free, and
-// HPopt's snapshot scan beats HP's per-node rescan on retire-heavy loads.
+// Microbenchmarks of the SMR primitives: the per-call cost of protect /
+// dup / begin+end / alloc+retire for every scheme.  These expose the
+// mechanism behind the figure-level results: HP pays a fence per protect,
+// HE amortizes it per era change, IBR/Hyaline make dup free, and HPopt's
+// snapshot scan beats HP's per-node rescan on retire-heavy loads.
+//
+// Two modes:
+//  * default           — the google-benchmark suite.  protect/* benchmarks
+//                        take an Arg: 1 = asymmetric fences, 0 = classic
+//                        seq_cst publication.
+//  * --json <path>     — the protect-latency sweep: a fixed-iteration
+//                        protect loop per (scheme, fence discipline),
+//                        measured in ns and TSC cycles per call and written
+//                        as scot-bench v1 cells (bench "micro_smr",
+//                        structure "none").  This is the A/B evidence for
+//                        the asymmetric-fence fast path; BENCH_pr3.json is
+//                        a committed capture.  google-benchmark flags are
+//                        not accepted in this mode.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "bench/report/report.hpp"
+#include "common/asymfence.hpp"
+#include "common/timing.hpp"
 #include "core/core.hpp"
 
 namespace {
@@ -17,10 +37,13 @@ struct ProbeNode : ReclaimNode {
   std::uint64_t payload = 0;
 };
 
+// --- google-benchmark suite -------------------------------------------------
+
 template <class Smr>
 void BM_Protect(benchmark::State& state) {
   SmrConfig cfg;
   cfg.max_threads = 2;
+  cfg.asymmetric_fences = state.range(0) != 0;
   Smr smr(cfg);
   auto& h = smr.handle(0);
   auto* n = h.template alloc<ProbeNode>();
@@ -75,8 +98,11 @@ void BM_AllocRetire(benchmark::State& state) {
   }
 }
 
-#define SCOT_REGISTER_SCHEME(scheme)                      \
-  BENCHMARK(BM_Protect<scheme>)->Name("protect/" #scheme); \
+#define SCOT_REGISTER_SCHEME(scheme)                       \
+  BENCHMARK(BM_Protect<scheme>)                            \
+      ->Name("protect/" #scheme)                           \
+      ->Arg(1)                                             \
+      ->Arg(0);                                            \
   BENCHMARK(BM_Dup<scheme>)->Name("dup/" #scheme);         \
   BENCHMARK(BM_BeginEndOp<scheme>)->Name("op/" #scheme);   \
   BENCHMARK(BM_AllocRetire<scheme>)->Name("alloc_retire/" #scheme)
@@ -89,6 +115,137 @@ SCOT_REGISTER_SCHEME(HeDomain);
 SCOT_REGISTER_SCHEME(IbrDomain);
 SCOT_REGISTER_SCHEME(HyalineDomain);
 
+// --- protect-latency sweep (--json mode) ------------------------------------
+
+inline std::uint64_t read_tsc() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_ia32_rdtsc();
+#else
+  return 0;  // cycles_per_op reported as 0 on non-TSC targets
+#endif
+}
+
+struct LatencySample {
+  double seconds = 0;
+  double ns_per_op = 0;
+  double cycles_per_op = 0;
+  std::uint64_t iters = 0;
+};
+
+template <class Smr>
+LatencySample measure_protect(bool asym) {
+  SmrConfig cfg;
+  cfg.max_threads = 2;
+  cfg.asymmetric_fences = asym;
+  Smr smr(cfg);
+  auto& h = smr.handle(0);
+  auto* n = h.template alloc<ProbeNode>();
+  std::atomic<ReclaimNode*> src{n};
+  h.begin_op();
+  constexpr std::uint64_t kWarmup = 1u << 14;
+  constexpr std::uint64_t kIters = 1u << 21;  // ~2M calls per sample
+  for (std::uint64_t i = 0; i < kWarmup; ++i)
+    benchmark::DoNotOptimize(h.protect(src, 0));
+  const std::uint64_t c0 = read_tsc();
+  const std::uint64_t t0 = now_ns();
+  for (std::uint64_t i = 0; i < kIters; ++i)
+    benchmark::DoNotOptimize(h.protect(src, 0));
+  const std::uint64_t t1 = now_ns();
+  const std::uint64_t c1 = read_tsc();
+  h.end_op();
+  h.dealloc_unpublished(n);
+
+  LatencySample s;
+  s.iters = kIters;
+  s.seconds = ns_to_sec(t1 - t0);
+  s.ns_per_op = static_cast<double>(t1 - t0) / static_cast<double>(kIters);
+  s.cycles_per_op =
+      c1 > c0 ? static_cast<double>(c1 - c0) / static_cast<double>(kIters)
+              : 0.0;
+  return s;
+}
+
+template <class Smr>
+void sweep_scheme(bench::BenchReport& report, bench::SchemeId id) {
+  using bench::CaseConfig;
+  using bench::CaseResult;
+  for (const bool asym : {true, false}) {
+    const LatencySample s = measure_protect<Smr>(asym);
+    CaseConfig cfg;
+    cfg.structure = bench::StructureId::kNone;
+    cfg.scheme = id;
+    cfg.threads = 1;
+    cfg.key_range = 0;
+    cfg.read_pct = 100;
+    cfg.insert_pct = 0;
+    cfg.delete_pct = 0;
+    cfg.millis = 0;
+    cfg.op_budget = s.iters;
+    cfg.asymmetric_fences = asym;
+    CaseResult r;
+    r.total_ops = s.iters;
+    r.seconds = s.seconds;
+    r.mops = static_cast<double>(s.iters) / s.seconds / 1e6;
+    r.ns_per_op = s.ns_per_op;
+    r.cycles_per_op = s.cycles_per_op;
+    report.add("micro_smr", "protect-latency", cfg, r);
+    std::printf("  %-6s %-9s %8.2f ns/protect %9.1f cycles\n",
+                bench::scheme_name(id), asym ? "asym" : "classic",
+                s.ns_per_op, s.cycles_per_op);
+  }
+}
+
+int run_latency_sweep(const std::string& json_path) {
+  bench::BenchReport report;
+  std::printf("== protect-latency: fenced vs. asymmetric ==\n");
+  std::printf("   fence path when asymmetric: %s\n",
+              asymfence::runtime_path_name());
+  sweep_scheme<NoReclaimDomain>(report, bench::SchemeId::kNR);
+  sweep_scheme<EbrDomain>(report, bench::SchemeId::kEBR);
+  sweep_scheme<HpDomain>(report, bench::SchemeId::kHP);
+  sweep_scheme<HpOptDomain>(report, bench::SchemeId::kHPopt);
+  sweep_scheme<HeDomain>(report, bench::SchemeId::kHE);
+  sweep_scheme<IbrDomain>(report, bench::SchemeId::kIBR);
+  sweep_scheme<HyalineDomain>(report, bench::SchemeId::kHLN);
+  std::string error;
+  if (!report.write_file(json_path, &error)) {
+    std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu cell(s) to %s\n", report.cells().size(),
+              json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Our flags are peeled off by hand (extract_bench_flags would reject the
+  // --benchmark_* flags google-benchmark owns in the default mode).
+  std::string json_path;
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (!json_path.empty()) {
+    if (rest.size() > 1) {
+      std::fprintf(stderr,
+                   "%s: --json mode takes no other arguments (got '%s')\n",
+                   argv[0], rest[1]);
+      return 2;
+    }
+    return run_latency_sweep(json_path);
+  }
+  int bench_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&bench_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, rest.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -64,6 +64,7 @@ inline void apply_session_flags(CaseConfig& cfg) {
   cfg.zipf_theta = f.zipf_theta;
   cfg.pin_threads = f.pin;
   cfg.op_budget = f.op_budget;
+  cfg.asymmetric_fences = f.asym;
   if (f.preset) {
     cfg.read_pct = f.preset->read_pct;
     cfg.insert_pct = f.preset->insert_pct;
@@ -129,6 +130,7 @@ inline void run_grid(const GridSpec& spec, int def_ms) {
   if (proto.key_dist == KeyDist::kZipfian)
     std::printf(" dist=zipfian(%.2f)", proto.zipf_theta);
   if (proto.pin_threads) std::printf(" pinned");
+  if (!proto.asymmetric_fences) std::printf(" no-asym");
   std::printf("\n");
 
   std::vector<std::string> header{"threads"};

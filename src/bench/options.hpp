@@ -21,6 +21,7 @@ enum class StructureId {
   kHashMap,
   kSkipList,       // Fraser-style optimistic traversal with SCOT
   kSkipListEager,  // Herlihy-Shavit-style eager unlink (baseline)
+  kNone,           // SMR-layer microbench cells (no data structure)
 };
 
 inline constexpr SchemeId kAllSchemes[] = {
@@ -54,6 +55,7 @@ inline const char* structure_name(StructureId s) {
     case StructureId::kHashMap: return "HashMap";
     case StructureId::kSkipList: return "SkipList";
     case StructureId::kSkipListEager: return "SkipListHS";
+    case StructureId::kNone: return "none";
   }
   return "?";
 }
@@ -66,8 +68,11 @@ inline std::optional<SchemeId> scheme_from_name(std::string_view name) {
   return std::nullopt;
 }
 
-// Reverse of structure_name(); used when loading JSON reports.
+// Reverse of structure_name(); used when loading JSON reports.  "none" is
+// resolvable (micro-SMR cells carry it) but deliberately absent from
+// kAllStructures, so no grid ever iterates it.
 inline std::optional<StructureId> structure_from_name(std::string_view name) {
+  if (name == structure_name(StructureId::kNone)) return StructureId::kNone;
   for (StructureId s : kAllStructures) {
     if (name == structure_name(s)) return s;
   }
@@ -138,12 +143,18 @@ struct CaseConfig {
   std::uint64_t op_budget = 0;   // per-thread op count; 0 = timed (millis).
                                  // With a budget and a fixed seed, a run is
                                  // bit-reproducible (see bench_determinism_test).
+  bool asymmetric_fences = true; // SmrConfig::asymmetric_fences for the run's
+                                 // domain; --no-asym turns it off for A/B
+                                 // comparison against the classic seq_cst
+                                 // protect path.
 };
 
 struct CaseResult {
   double mops = 0;  // million operations per second (median run)
   std::uint64_t total_ops = 0;
   double seconds = 0;
+  double ns_per_op = 0;      // derived: seconds / total_ops (0 if no ops)
+  double cycles_per_op = 0;  // micro-SMR cells only (TSC); 0 elsewhere
   double avg_pending = 0;  // mean not-yet-reclaimed nodes over samples
   std::int64_t peak_pending = 0;
   std::uint64_t restarts = 0;
@@ -215,12 +226,14 @@ struct BenchFlags {
   std::optional<WorkloadMix> preset;   // --preset mixed|read-mostly|write-heavy
   bool pin = false;                    // --pin: worker-thread CPU affinity
   std::uint64_t op_budget = 0;         // --ops <per-thread count>; 0 = timed
+  bool asym = true;                    // --no-asym: classic seq_cst protect
   bool help = false;                   // --help seen; caller prints usage
 };
 
 inline constexpr const char* kFlagUsage =
     "[--seed <n>] [--json <path>] [--dist uniform|zipfian] [--theta <0..1>] "
-    "[--preset mixed|read-mostly|write-heavy] [--pin] [--ops <n>] [--help]";
+    "[--preset mixed|read-mostly|write-heavy] [--pin] [--ops <n>] "
+    "[--no-asym|--asym] [--help]";
 
 // Removes the recognised --flags (and their values) from `args`, leaving
 // positional arguments in place.  Returns false with a one-line `error` on
@@ -250,6 +263,10 @@ inline bool extract_bench_flags(std::vector<std::string>& args,
       out.help = true;
     } else if (a == "--pin") {
       out.pin = true;
+    } else if (a == "--no-asym") {
+      out.asym = false;
+    } else if (a == "--asym") {  // explicit opt-in, for A/B scripting
+      out.asym = true;
     } else if (a == "--seed") {
       const std::string* v = next_value();
       long long n = 0;
@@ -368,6 +385,7 @@ inline std::optional<CaseConfig> parse_cli(int argc, const char* const* argv,
   cfg.zipf_theta = flags.zipf_theta;
   cfg.pin_threads = flags.pin;
   cfg.op_budget = flags.op_budget;
+  cfg.asymmetric_fences = flags.asym;
   if (flags.preset) {
     cfg.read_pct = flags.preset->read_pct;
     cfg.insert_pct = flags.preset->insert_pct;

@@ -24,6 +24,10 @@ struct ReportMeta {
   std::string build_type;     // Release / RelWithDebInfo / ...
   unsigned hardware_threads = 0;
   std::string timestamp_utc;  // ISO 8601, e.g. "2026-07-30T12:00:00Z"
+  // Which asymmetric-fence implementation the host would use when a run
+  // requests asymmetric fences: "membarrier" or "fence-fallback"
+  // (src/common/asymfence.hpp).  Cells record per-run on/off separately.
+  std::string asym_fence;
 };
 
 // Metadata of the running binary: build-time macros + runtime clock.

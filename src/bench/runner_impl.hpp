@@ -58,6 +58,7 @@ CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
   scfg.scan_threshold = 128;                 // paper calibration
   scfg.era_freq = 12 * cfg.threads;          // paper calibration
   scfg.track_stats = cfg.sample_memory;
+  scfg.asymmetric_fences = cfg.asymmetric_fences;
   Smr smr(scfg);
   auto ds = make_structure<DS, Smr>(smr, cfg);
 
@@ -176,6 +177,8 @@ CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
   for (const auto o : inserts) r.inserts += o;
   for (const auto o : removes) r.removes += o;
   r.mops = static_cast<double>(r.total_ops) / r.seconds / 1e6;
+  if (r.total_ops > 0)
+    r.ns_per_op = r.seconds * 1e9 / static_cast<double>(r.total_ops);
   if (pending_samples > 0)
     r.avg_pending = pending_sum / static_cast<double>(pending_samples);
   r.peak_pending = pending_peak;
@@ -220,6 +223,8 @@ CaseResult run_with_scheme(const CaseConfig& cfg) {
     case StructureId::kSkipListEager:
       return run_structure<SkipList<Key, Value, Smr, SkipListEagerTraits>,
                            Smr>(cfg);
+    case StructureId::kNone:
+      break;  // micro-SMR cells are never run through the harness
   }
   return {};
 }

@@ -1,0 +1,64 @@
+// Atomic link words for type-stable (pool-recycled) objects.
+//
+// The node pool recycles memory while stale optimistic readers may still be
+// issuing atomic loads against it — the paper's validate-and-restart design
+// tolerates the stale *values* algorithmically (DESIGN.md §4), but
+// placement-new re-construction of a `std::atomic` member performs a plain,
+// non-atomic write, which is a formal C++ data race with those loads (the
+// one race pair behind all of PR 2's TSan reports).  `StableAtomic` closes
+// it: the default constructor deliberately writes nothing, and
+// initialisation happens through a relaxed atomic store, so every access to
+// the word across the node's whole reuse cycle is atomic.
+#pragma once
+
+#include <atomic>
+
+namespace scot {
+
+template <class T>
+class StableAtomic {
+ public:
+  using value_type = T;
+
+  // No write: the underlying bytes may be concurrently read by a stale
+  // reader, and either the previous node's value or the constructor-body
+  // store of the new node supersedes whatever is there.
+  StableAtomic() noexcept {}
+
+  // Atomic (relaxed) initialisation.  Relaxed is enough: the CAS/store that
+  // later links the node into the structure provides the release edge that
+  // readers synchronise with.
+  explicit StableAtomic(T v) noexcept {
+    a_.store(v, std::memory_order_relaxed);
+  }
+
+  ~StableAtomic() = default;
+  StableAtomic(const StableAtomic&) = delete;
+  StableAtomic& operator=(const StableAtomic&) = delete;
+
+  T load(std::memory_order mo) const noexcept { return a_.load(mo); }
+  void store(T v, std::memory_order mo) noexcept { a_.store(v, mo); }
+
+  bool compare_exchange_strong(T& expected, T desired,
+                               std::memory_order success,
+                               std::memory_order failure) noexcept {
+    return a_.compare_exchange_strong(expected, desired, success, failure);
+  }
+  bool compare_exchange_weak(T& expected, T desired,
+                             std::memory_order success,
+                             std::memory_order failure) noexcept {
+    return a_.compare_exchange_weak(expected, desired, success, failure);
+  }
+
+ private:
+  // The union suppresses std::atomic's C++20 value-initialising default
+  // constructor; all member access goes through atomic operations.  The
+  // atomic's storage is engaged for the lifetime of the StableAtomic (its
+  // constructors either store into it or leave the prior bytes in place —
+  // the type-stability contract of the pool).
+  union {
+    std::atomic<T> a_;
+  };
+};
+
+}  // namespace scot

@@ -68,6 +68,9 @@ class HarrisList {
  public:
   using Node = ListNode<Key, Value>;
   using MP = marked_ptr<Node>;
+  // Link words live in pool-recycled nodes, so they are StableAtomic (the
+  // head is one too: traversal code points at head and node links alike).
+  using Link = StableAtomic<MP>;
   using Handle = typename Smr::Handle;
 
   static constexpr unsigned kHpNext = 0;
@@ -227,7 +230,7 @@ class HarrisList {
 
  private:
   struct Position {
-    std::atomic<MP>* prev;
+    Link* prev;
     Node* curr;
     MP next;
     bool found;
@@ -265,7 +268,7 @@ class HarrisList {
   FindOutcome do_find(Handle& h, const Key& key, bool search_only,
                       Position& out, Control control) {
     // All locals hoisted so that `goto restart` stays well-formed.
-    std::atomic<MP>* prev;
+    Link* prev;
     MP prev_next;  // expected value of *prev while inside a dangerous zone
     Node* curr;
     MP next;
@@ -443,7 +446,7 @@ class HarrisList {
     return false;
   }
 
-  alignas(kCacheLine) std::atomic<MP> head_{MP{}};
+  alignas(kCacheLine) Link head_{MP{}};
   Smr& smr_;
   [[no_unique_address]] Compare cmp_;
   std::unique_ptr<WfHelpRegistry<Key>> wf_;

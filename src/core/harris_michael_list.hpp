@@ -30,6 +30,9 @@ class HarrisMichaelList {
  public:
   using Node = ListNode<Key, Value>;
   using MP = marked_ptr<Node>;
+  // Link words live in pool-recycled nodes, so they are StableAtomic (the
+  // head is one too: traversal code points at head and node links alike).
+  using Link = StableAtomic<MP>;
   using Handle = typename Smr::Handle;
 
   static constexpr unsigned kHpNext = 0;
@@ -133,7 +136,7 @@ class HarrisMichaelList {
 
  private:
   struct Position {
-    std::atomic<MP>* prev;
+    Link* prev;
     Node* curr;
     MP next;
     bool found;
@@ -142,7 +145,7 @@ class HarrisMichaelList {
   // Michael's Find: eagerly unlinks every logically deleted node it meets.
   Position find(Handle& h, const Key& key) {
     for (;;) {
-      std::atomic<MP>* prev = &head_;
+      Link* prev = &head_;
       MP curr_m = h.protect(head_, kHpCurr);
       if (!h.op_valid()) {
         restart(h);
@@ -198,7 +201,7 @@ class HarrisMichaelList {
     h.revalidate_op();
   }
 
-  alignas(kCacheLine) std::atomic<MP> head_{MP{}};
+  alignas(kCacheLine) Link head_{MP{}};
   Smr& smr_;
   [[no_unique_address]] Compare cmp_;
 };

@@ -1,9 +1,9 @@
 // Shared pieces of the two linked-list implementations.
 #pragma once
 
-#include <atomic>
 #include <functional>
 
+#include "common/stable_atomic.hpp"
 #include "core/marked_ptr.hpp"
 #include "smr/reclaim_node.hpp"
 
@@ -14,12 +14,17 @@ namespace scot {
 // is never deleted, which lets Do_Find avoid null-successor special cases —
 // this mirrors the paper's Figure 3, where Init() installs a single sentinel
 // whose key compares greater than every real key.
+//
+// The link word is a StableAtomic: the pool recycles nodes while stale
+// optimistic readers may still protect() through them, so re-initialising
+// `next` must be an atomic store, not a plain constructor write
+// (DESIGN.md §4).
 template <class Key, class Value>
 struct ListNode : ReclaimNode {
   Key key;
   Value value;
   std::uint8_t rank;  // 0 = real key, 1 = +infinity tail sentinel
-  std::atomic<marked_ptr<ListNode>> next;
+  StableAtomic<marked_ptr<ListNode>> next;
 
   ListNode(const Key& k, const Value& v, std::uint8_t r)
       : key(k), value(v), rank(r), next(marked_ptr<ListNode>{}) {}

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/stable_atomic.hpp"
 #include "core/marked_ptr.hpp"
 #include "smr/smr.hpp"
 
@@ -48,12 +49,16 @@ template <class Key, class Value, SmrDomain Smr,
           class Compare = std::less<Key>>
 class NatarajanMittalTree {
  public:
+  // Child edges are StableAtomic: nodes are pool-recycled while stale
+  // optimistic readers may still protect() through them, so (re)initialising
+  // an edge must be an atomic store, not a plain constructor write
+  // (DESIGN.md §4).
   struct Node : ReclaimNode {
     Key key;
     Value value;        // meaningful for leaves only
     std::uint8_t rank;  // 0 = real key; 1..3 = sentinel infinities
-    std::atomic<marked_ptr<Node>> left;
-    std::atomic<marked_ptr<Node>> right;
+    StableAtomic<marked_ptr<Node>> left;
+    StableAtomic<marked_ptr<Node>> right;
 
     Node(const Key& k, const Value& v, std::uint8_t r)
         : key(k),
@@ -63,6 +68,7 @@ class NatarajanMittalTree {
           right(marked_ptr<Node>{}) {}
   };
   using MP = marked_ptr<Node>;
+  using Link = StableAtomic<MP>;
   using Handle = typename Smr::Handle;
 
   static constexpr unsigned kHpChild = 0;
@@ -244,10 +250,10 @@ class NatarajanMittalTree {
     Node* successor;
     Node* parent;
     Node* leaf;
-    std::atomic<MP>* succ_field;  // ancestor's child edge toward successor
-    MP succ_expect;               // its expected (clean) value
-    std::atomic<MP>* leaf_field;  // parent's child edge toward leaf
-    MP leaf_edge;                 // its value as read (bits included)
+    Link* succ_field;  // ancestor's child edge toward successor
+    MP succ_expect;    // its expected (clean) value
+    Link* leaf_field;  // parent's child edge toward leaf
+    MP leaf_edge;      // its value as read (bits included)
   };
 
   // key < node under the rank ordering (sentinel ranks exceed all keys).
@@ -257,10 +263,10 @@ class NatarajanMittalTree {
   bool leaf_matches(const Node* leaf, const Key& key) const {
     return leaf->rank == 0 && !cmp_(leaf->key, key) && !cmp_(key, leaf->key);
   }
-  std::atomic<MP>* child_field(Node* n, const Key& key) const {
+  Link* child_field(Node* n, const Key& key) const {
     return key_less_than_node(key, n) ? &n->left : &n->right;
   }
-  std::atomic<MP>* sibling_field(Node* n, const Key& key) const {
+  Link* sibling_field(Node* n, const Key& key) const {
     return key_less_than_node(key, n) ? &n->right : &n->left;
   }
 
@@ -289,7 +295,7 @@ class NatarajanMittalTree {
       // Route one level down.  Dereferencing s.leaf here is safe: it was
       // protected by the previous protect() and, when its incoming edge
       // carried deletion bits, re-validated below before this iteration.
-      std::atomic<MP>* cf = child_field(s.leaf, key);
+      Link* cf = child_field(s.leaf, key);
       MP child_edge = h.protect(*cf, kHpChild);
       if (!h.op_valid()) return false;
       Node* child = child_edge.ptr();
@@ -330,8 +336,8 @@ class NatarajanMittalTree {
   // Returns true if this call performed the pruning CAS.
   bool cleanup(Handle& h, const Key& key, SeekRecord& s) {
     Node* parent = s.parent;
-    std::atomic<MP>* child_f = child_field(parent, key);
-    std::atomic<MP>* sibling_f = sibling_field(parent, key);
+    Link* child_f = child_field(parent, key);
+    Link* sibling_f = sibling_field(parent, key);
     MP child_val = child_f->load(std::memory_order_seq_cst);
     if (!child_val.flagged()) {
       // The flagged edge is the other one: we are helping a deletion whose

@@ -33,6 +33,7 @@
 #include <optional>
 
 #include "common/align.hpp"
+#include "common/stable_atomic.hpp"
 #include "common/xorshift.hpp"
 #include "core/marked_ptr.hpp"
 #include "smr/smr.hpp"
@@ -54,19 +55,25 @@ class SkipList {
  public:
   static constexpr unsigned kMaxHeight = Traits::kMaxHeight;
 
+  // Tower links are StableAtomic: nodes are pool-recycled while stale
+  // optimistic readers may still protect() through them, so (re)initialising
+  // a link must be an atomic store, not a plain constructor write
+  // (DESIGN.md §4).
   struct Node : ReclaimNode {
     Key key;
     Value value;
     std::uint8_t rank;  // 0 = real key, 1 = +infinity tail sentinel
     std::uint8_t height;
-    std::atomic<marked_ptr<Node>> next[kMaxHeight];
+    StableAtomic<marked_ptr<Node>> next[kMaxHeight];
 
     Node(const Key& k, const Value& v, std::uint8_t r, std::uint8_t hgt)
         : key(k), value(v), rank(r), height(hgt) {
-      for (auto& n : next) n.store(marked_ptr<Node>{}, std::memory_order_relaxed);
+      for (auto& n : next)
+        n.store(marked_ptr<Node>{}, std::memory_order_relaxed);
     }
   };
   using MP = marked_ptr<Node>;
+  using Link = StableAtomic<MP>;
   using Handle = typename Smr::Handle;
 
   static constexpr unsigned kHpNext = 0;
@@ -258,7 +265,7 @@ class SkipList {
 
  private:
   struct Position {
-    std::atomic<MP>* prev_field;
+    Link* prev_field;
     Node* curr;
     MP next;
     bool found;
@@ -282,7 +289,7 @@ class SkipList {
     bool saw_watch = false;
     unsigned level = kMaxHeight - 1;
     Node* prev_node = nullptr;  // nullptr = head tower (immortal)
-    std::atomic<MP>* prev_field = &head_[level];
+    Link* prev_field = &head_[level];
     MP prev_next{};
     bool in_zone = false;
 
@@ -401,7 +408,7 @@ class SkipList {
     return height;
   }
 
-  alignas(kCacheLine) std::atomic<MP> head_[kMaxHeight];
+  alignas(kCacheLine) Link head_[kMaxHeight];
   Smr& smr_;
   [[no_unique_address]] Compare cmp_;
 };

@@ -46,8 +46,9 @@ class EbrDomain {
       dom_->res_[tid_]->store(kIdle, std::memory_order_release);
     }
 
-    template <class P>
-    P protect(const std::atomic<P>& src, unsigned /*idx*/) noexcept {
+    // `Src` is std::atomic<P> or StableAtomic<P> (pool-recycled link words).
+    template <class Src, class P = typename Src::value_type>
+    P protect(const Src& src, unsigned /*idx*/) noexcept {
       return src.load(std::memory_order_acquire);
     }
     template <class T>

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/asymfence.hpp"
 #include "smr/handle_core.hpp"
 #include "smr/node_pool.hpp"
 #include "smr/smr_config.hpp"
@@ -33,7 +34,10 @@ class HeDomain {
   class Handle : public HandleCore<HeDomain, Handle> {
    public:
     using Base = HandleCore<HeDomain, Handle>;
-    Handle(HeDomain* dom, unsigned tid) : Base(dom, tid) {}
+    Handle(HeDomain* dom, unsigned tid) : Base(dom, tid) {
+      snapshot_.reserve(static_cast<std::size_t>(dom->cfg_.max_threads) *
+                        dom->cfg_.slots_per_thread);
+    }
 
     void begin_op() noexcept {}
 
@@ -49,10 +53,16 @@ class HeDomain {
     // HE get_protected: loop until the global era observed after the load
     // equals the era published in the slot.  When the era is already
     // published (the common case within one era period) this is a plain
-    // load — the fence amortization that makes HE faster than HP.
-    template <class P>
-    P protect(const std::atomic<P>& src, unsigned idx) noexcept {
+    // load — the fence amortization that makes HE faster than HP.  Only the
+    // era-change publication carries a fence, and that is the store the
+    // asymmetric discipline relaxes: the loop's re-read of src/clock must
+    // be ordered after the slot store, and scans restore that edge with a
+    // heavy barrier before collect_eras() (DESIGN.md §5).
+    // `Src` is std::atomic<P> or StableAtomic<P>.
+    template <class Src, class P = typename Src::value_type>
+    P protect(const Src& src, unsigned idx) noexcept {
       std::uint64_t prev = slot(idx).load(std::memory_order_relaxed);
+      const asymfence::Path fences = dom_->fence_path_;
       for (;;) {
         P v = src.load(std::memory_order_acquire);
         const std::uint64_t e = dom_->clock_.load(std::memory_order_seq_cst);
@@ -60,7 +70,12 @@ class HeDomain {
           used_mask_ |= 1u << idx;
           return v;
         }
-        slot(idx).store(e, std::memory_order_seq_cst);
+        if (fences == asymfence::Path::kClassic) {
+          slot(idx).store(e, std::memory_order_seq_cst);
+        } else {
+          slot(idx).store(e, std::memory_order_release);
+          asymfence::light_barrier(fences);
+        }
         prev = e;
       }
     }
@@ -69,8 +84,13 @@ class HeDomain {
     void publish(T* /*p*/, unsigned idx) noexcept {
       // Publishing the current era protects everything alive at it,
       // including the immortal anchor this is used for.
-      slot(idx).store(dom_->clock_.load(std::memory_order_acquire),
-                      std::memory_order_seq_cst);
+      const std::uint64_t e = dom_->clock_.load(std::memory_order_acquire);
+      if (dom_->fence_path_ == asymfence::Path::kClassic) {
+        slot(idx).store(e, std::memory_order_seq_cst);
+      } else {
+        slot(idx).store(e, std::memory_order_release);
+        asymfence::light_barrier(dom_->fence_path_);
+      }
       used_mask_ |= 1u << idx;
     }
 
@@ -99,6 +119,11 @@ class HeDomain {
     }
 
     void scan() {
+      // Surface in-flight era publications before reading the slots; a
+      // publication the barrier does not surface belongs to a reader whose
+      // validating re-read is ordered after every unlink in this batch.
+      if (dom_->fence_path_ != asymfence::Path::kClassic)
+        asymfence::heavy_barrier(dom_->fence_path_);
       // Reservation snapshot (sorted) — one pass over the global slot array
       // per scan instead of one per retired node.
       snapshot_.clear();
@@ -153,7 +178,8 @@ class HeDomain {
         pool_(cfg.max_threads),
         stride_((cfg.slots_per_thread + kSlotsPerLine - 1) / kSlotsPerLine *
                 kSlotsPerLine),
-        slots_(static_cast<std::size_t>(stride_) * cfg.max_threads) {
+        slots_(static_cast<std::size_t>(stride_) * cfg.max_threads),
+        fence_path_(asymfence::resolve(cfg.asymmetric_fences)) {
     assert(cfg_.slots_per_thread <= 32);
     for (auto& s : slots_) s.store(kIdleEra, std::memory_order_relaxed);
     handles_.reserve(cfg_.max_threads);
@@ -173,6 +199,7 @@ class HeDomain {
   std::uint64_t era() const noexcept {
     return clock_.load(std::memory_order_acquire);
   }
+  asymfence::Path fence_path() const noexcept { return fence_path_; }
 
   std::atomic<std::uint64_t>& slot(unsigned tid, unsigned idx) noexcept {
     assert(idx < cfg_.slots_per_thread);
@@ -215,6 +242,7 @@ class HeDomain {
   std::atomic<std::uint64_t> clock_{1};
   unsigned stride_;
   std::vector<std::atomic<std::uint64_t>> slots_;
+  asymfence::Path fence_path_;
   std::vector<std::unique_ptr<Handle>> handles_;
 };
 

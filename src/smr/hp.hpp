@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/asymfence.hpp"
 #include "smr/handle_core.hpp"
 #include "smr/node_pool.hpp"
 #include "smr/smr_config.hpp"
@@ -39,7 +40,15 @@ class HazardPointerDomain {
   class Handle : public HandleCore<HazardPointerDomain, Handle> {
    public:
     using Base = HandleCore<HazardPointerDomain, Handle>;
-    Handle(HazardPointerDomain* dom, unsigned tid) : Base(dom, tid) {}
+    Handle(HazardPointerDomain* dom, unsigned tid) : Base(dom, tid) {
+      if constexpr (kSnapshotScan) {
+        // Worst case is every slot of every thread occupied; reserving it
+        // up front keeps collect_hazards() allocation-free after the first
+        // scan of each handle.
+        snapshot_.reserve(static_cast<std::size_t>(dom->cfg_.max_threads) *
+                          dom->cfg_.slots_per_thread);
+      }
+    }
 
    protected:
     // HazardPointerDomain is a template, so the base is dependent and its
@@ -63,18 +72,35 @@ class HazardPointerDomain {
       }
     }
 
-    template <class P>
-    P protect(const std::atomic<P>& src, unsigned idx) noexcept {
+    // `Src` is std::atomic<P> or StableAtomic<P> (pool-recycled link words).
+    template <class Src, class P = typename Src::value_type>
+    P protect(const Src& src, unsigned idx) noexcept {
       P cur = src.load(std::memory_order_acquire);
-      for (;;) {
-        // seq_cst publish followed by a seq_cst re-read gives the StoreLoad
-        // ordering the HP safety argument requires: if the re-read still
-        // sees `cur`, the publication preceded any subsequent unlink of the
-        // link we loaded from, so a retirement scan must observe the slot.
-        slot(idx).store(smr_raw(cur), std::memory_order_seq_cst);
-        P again = src.load(std::memory_order_seq_cst);
-        if (again == cur) break;
-        cur = again;
+      const asymfence::Path fences = dom_->fence_path_;
+      if (fences == asymfence::Path::kClassic) {
+        for (;;) {
+          // seq_cst publish followed by a seq_cst re-read gives the
+          // StoreLoad ordering the HP safety argument requires: if the
+          // re-read still sees `cur`, the publication preceded any
+          // subsequent unlink of the link we loaded from, so a retirement
+          // scan must observe the slot.
+          slot(idx).store(smr_raw(cur), std::memory_order_seq_cst);
+          P again = src.load(std::memory_order_seq_cst);
+          if (again == cur) break;
+          cur = again;
+        }
+      } else {
+        for (;;) {
+          // Asymmetric fast path: the StoreLoad edge above is restored by
+          // the heavy barrier every scan issues before reading the slots
+          // (DESIGN.md §5).  On the fallback path light_barrier() is a real
+          // seq_cst fence, making the pair equivalent to the classic code.
+          slot(idx).store(smr_raw(cur), std::memory_order_release);
+          asymfence::light_barrier(fences);
+          P again = src.load(std::memory_order_acquire);
+          if (again == cur) break;
+          cur = again;
+        }
       }
       used_mask_ |= 1u << idx;
       return cur;
@@ -84,7 +110,12 @@ class HazardPointerDomain {
     // are never retired).  Do NOT use for reclaimable nodes.
     template <class T>
     void publish(T* p, unsigned idx) noexcept {
-      slot(idx).store(smr_raw(p), std::memory_order_seq_cst);
+      if (dom_->fence_path_ == asymfence::Path::kClassic) {
+        slot(idx).store(smr_raw(p), std::memory_order_seq_cst);
+      } else {
+        slot(idx).store(smr_raw(p), std::memory_order_release);
+        asymfence::light_barrier(dom_->fence_path_);
+      }
       used_mask_ |= 1u << idx;
     }
 
@@ -108,6 +139,12 @@ class HazardPointerDomain {
     std::uint64_t on_alloc_era() noexcept { return 0; }
 
     void scan() {
+      // One heavy barrier covers the whole scan batch: every node in the
+      // limbo list was unlinked (and retired) before this point, so a
+      // reader publication the barrier does not surface belongs to a
+      // validating re-read that is ordered after the unlink and retries.
+      if (dom_->fence_path_ != asymfence::Path::kClassic)
+        asymfence::heavy_barrier(dom_->fence_path_);
       std::uint64_t freed = 0;
       if constexpr (kSnapshotScan) {
         snapshot_.clear();
@@ -159,7 +196,8 @@ class HazardPointerDomain {
         pool_(cfg.max_threads),
         stride_((cfg.slots_per_thread + kSlotsPerLine - 1) / kSlotsPerLine *
                 kSlotsPerLine),
-        slots_(static_cast<std::size_t>(stride_) * cfg.max_threads) {
+        slots_(static_cast<std::size_t>(stride_) * cfg.max_threads),
+        fence_path_(asymfence::resolve(cfg.asymmetric_fences)) {
     assert(cfg_.slots_per_thread <= 32);
     for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
     handles_.reserve(cfg_.max_threads);
@@ -176,6 +214,7 @@ class HazardPointerDomain {
     return counters_.pending.load(std::memory_order_relaxed);
   }
   const SmrCounters& counters() const noexcept { return counters_; }
+  asymfence::Path fence_path() const noexcept { return fence_path_; }
 
   std::atomic<ReclaimNode*>& slot(unsigned tid, unsigned idx) noexcept {
     assert(idx < cfg_.slots_per_thread);
@@ -195,7 +234,12 @@ class HazardPointerDomain {
 
   void collect_hazards(std::vector<ReclaimNode*>& out) const {
     // Ascending slot order; paired with ascending-index dup this guarantees
-    // a protected node is seen in at least one slot (paper §3.2).
+    // a protected node is seen in at least one slot (paper §3.2).  The
+    // scan's cost is the acquire load per slot, which is irreducible
+    // without making readers maintain a per-line occupancy summary (a
+    // write on the protect hot path — not worth it); the Handle reserves
+    // `snapshot_` for the worst case instead, so HPopt scans allocate at
+    // most once per handle.
     for (unsigned t = 0; t < cfg_.max_threads; ++t) {
       for (unsigned i = 0; i < cfg_.slots_per_thread; ++i) {
         ReclaimNode* v = slots_[static_cast<std::size_t>(t) * stride_ + i]
@@ -229,6 +273,7 @@ class HazardPointerDomain {
   SmrCounters counters_;
   unsigned stride_;
   std::vector<std::atomic<ReclaimNode*>> slots_;
+  asymfence::Path fence_path_;
   std::vector<std::unique_ptr<Handle>> handles_;
 };
 

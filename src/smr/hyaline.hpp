@@ -71,8 +71,9 @@ class HyalineDomain {
       drain(prev);
     }
 
-    template <class P>
-    P protect(const std::atomic<P>& src, unsigned /*idx*/) noexcept {
+    // `Src` is std::atomic<P> or StableAtomic<P> (pool-recycled link words).
+    template <class Src, class P = typename Src::value_type>
+    P protect(const Src& src, unsigned /*idx*/) noexcept {
       P v = src.load(std::memory_order_acquire);
       ReclaimNode* n = smr_raw(v);
       if (n != nullptr && birth_era_of(n) > era_local_) {

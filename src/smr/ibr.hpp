@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/asymfence.hpp"
 #include "smr/handle_core.hpp"
 #include "smr/node_pool.hpp"
 #include "smr/smr_config.hpp"
@@ -50,13 +51,24 @@ class IbrDomain {
       (*dom_->res_[tid_]).lower.store(kIdle, std::memory_order_release);
     }
 
-    template <class P>
-    P protect(const std::atomic<P>& src, unsigned /*idx*/) noexcept {
+    // The common case (era unchanged since the last bump) is fence-free
+    // either way; the asymmetric discipline relaxes the `upper` bump, whose
+    // StoreLoad edge against the loop's re-read is restored by the heavy
+    // barrier scans issue before collect_intervals() (DESIGN.md §5).
+    // `Src` is std::atomic<P> or StableAtomic<P>.
+    template <class Src, class P = typename Src::value_type>
+    P protect(const Src& src, unsigned /*idx*/) noexcept {
+      const asymfence::Path fences = dom_->fence_path_;
       for (;;) {
         P v = src.load(std::memory_order_acquire);
         const std::uint64_t e = dom_->clock_.load(std::memory_order_seq_cst);
         if (e == upper_cache_) return v;
-        (*dom_->res_[tid_]).upper.store(e, std::memory_order_seq_cst);
+        if (fences == asymfence::Path::kClassic) {
+          (*dom_->res_[tid_]).upper.store(e, std::memory_order_seq_cst);
+        } else {
+          (*dom_->res_[tid_]).upper.store(e, std::memory_order_release);
+          asymfence::light_barrier(fences);
+        }
         upper_cache_ = e;
       }
     }
@@ -82,6 +94,8 @@ class IbrDomain {
     }
 
     void scan() {
+      if (dom_->fence_path_ != asymfence::Path::kClassic)
+        asymfence::heavy_barrier(dom_->fence_path_);
       snapshot_.clear();
       dom_->collect_intervals(snapshot_);
       std::uint64_t freed = 0;
@@ -127,7 +141,10 @@ class IbrDomain {
   };
 
   explicit IbrDomain(SmrConfig cfg = {})
-      : cfg_(cfg), pool_(cfg.max_threads), res_(cfg.max_threads) {
+      : cfg_(cfg),
+        pool_(cfg.max_threads),
+        res_(cfg.max_threads),
+        fence_path_(asymfence::resolve(cfg.asymmetric_fences)) {
     for (auto& r : res_) {
       r->lower.store(kIdle, std::memory_order_relaxed);
       r->upper.store(kIdle, std::memory_order_relaxed);
@@ -149,6 +166,7 @@ class IbrDomain {
   std::uint64_t era() const noexcept {
     return clock_.load(std::memory_order_acquire);
   }
+  asymfence::Path fence_path() const noexcept { return fence_path_; }
 
   void collect_intervals(
       std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const {
@@ -189,6 +207,7 @@ class IbrDomain {
   SmrCounters counters_;
   std::atomic<std::uint64_t> clock_{1};
   std::vector<Padded<ReservationData>> res_;
+  asymfence::Path fence_path_;
   std::vector<std::unique_ptr<Handle>> handles_;
 };
 

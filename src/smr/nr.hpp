@@ -33,8 +33,9 @@ class NoReclaimDomain {
     void begin_op() noexcept {}
     void end_op() noexcept {}
 
-    template <class P>
-    P protect(const std::atomic<P>& src, unsigned /*idx*/) noexcept {
+    // `Src` is std::atomic<P> or StableAtomic<P> (pool-recycled link words).
+    template <class Src, class P = typename Src::value_type>
+    P protect(const Src& src, unsigned /*idx*/) noexcept {
       return src.load(std::memory_order_acquire);
     }
     template <class T>

@@ -3,8 +3,30 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <string_view>
 
 namespace scot {
+
+namespace smr_config_detail {
+
+// Default for SmrConfig::asymmetric_fences: on, unless SCOT_ASYM is set to a
+// false-y value ("", "0", "false", "off", "no").  The env knob exists so CI
+// can run the whole test matrix against both fence disciplines without
+// touching any test code (the bench harness uses the --no-asym flag
+// instead).
+inline bool asym_fences_default() noexcept {
+  static const bool v = [] {
+    const char* e = std::getenv("SCOT_ASYM");
+    if (e == nullptr) return true;
+    const std::string_view s(e);
+    return !(s.empty() || s == "0" || s == "false" || s == "off" ||
+             s == "no");
+  }();
+  return v;
+}
+
+}  // namespace smr_config_detail
 
 struct SmrConfig {
   // Capacity: number of handles (threads) the domain serves.  Handle ids are
@@ -33,6 +55,14 @@ struct SmrConfig {
   // memory-overhead benchmarks sample it; throughput benchmarks may turn it
   // off.  Reads are exact when quiescent, approximate otherwise.
   bool track_stats = true;
+
+  // Asymmetric-fence protection fast path (HP/HPopt/HE/IBR): protect()
+  // publishes with a release store plus a compiler barrier, and scans issue
+  // one process-wide heavy barrier instead (src/common/asymfence.hpp,
+  // DESIGN.md §5).  Off = the original per-protect seq_cst publication.
+  // Falls back automatically to per-slot seq_cst fences when
+  // sys_membarrier is unavailable.  Default honours the SCOT_ASYM env knob.
+  bool asymmetric_fences = smr_config_detail::asym_fences_default();
 };
 
 // Domain-wide counters.  `pending` drives Figures 10-12 (average number of

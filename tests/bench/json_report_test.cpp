@@ -229,6 +229,58 @@ TEST(BenchReport, CellKeySeparatesWorkloadsButNotMeasurements) {
   EXPECT_NE(cell_key(a), cell_key(e));
 }
 
+TEST(BenchReport, AsymKeysBackwardCompatible) {
+  // The regression gate's linchpin: cells from reports that predate the
+  // asym field must keep matching new default (asym-on) runs, while
+  // --no-asym runs get a distinct identity.
+  ReportCell modern{"fig8", "label", sample_cfg(), sample_result()};
+  modern.cfg.asymmetric_fences = true;
+  ReportCell classic = modern;
+  classic.cfg.asymmetric_fences = false;
+  EXPECT_NE(cell_key(modern), cell_key(classic));
+  EXPECT_NE(cell_key(classic).find("|noasym"), std::string::npos);
+  EXPECT_EQ(cell_key(modern).find("|noasym"), std::string::npos);
+
+  // A pre-knob cell (no "asym" field at all) loads as asym-on.
+  std::string error;
+  const auto legacy = BenchReport::from_json(
+      "{\"schema\": \"scot-bench\", \"schema_version\": 1, \"cells\": "
+      "[{\"bench\": \"fig8\", \"label\": \"label\", \"structure\": "
+      "\"HList\", \"scheme\": \"EBR\", \"threads\": 1}]}",
+      &error);
+  ASSERT_TRUE(legacy.has_value()) << error;
+  EXPECT_TRUE(legacy->cells()[0].cfg.asymmetric_fences);
+
+  // An explicit false survives the serialise -> parse round trip.
+  BenchReport report;
+  report.add("fig8", "label", classic.cfg, classic.result);
+  const auto loaded = BenchReport::from_json(report.to_json(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_FALSE(loaded->cells()[0].cfg.asymmetric_fences);
+  EXPECT_EQ(cell_key(loaded->cells()[0]), cell_key(classic));
+}
+
+TEST(BenchReport, MicroCellsRoundTripStructureNone) {
+  // bench_micro_smr's protect-latency cells: structure "none" plus the
+  // ns/cycles measurements must survive the round trip.
+  CaseConfig cfg;
+  cfg.structure = StructureId::kNone;
+  cfg.scheme = SchemeId::kHP;
+  cfg.asymmetric_fences = false;
+  CaseResult r;
+  r.ns_per_op = 9.37;
+  r.cycles_per_op = 25.3;
+  BenchReport report;
+  report.add("micro_smr", "protect-latency", cfg, r);
+  std::string error;
+  const auto loaded = BenchReport::from_json(report.to_json(), &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  ASSERT_EQ(loaded->cells().size(), 1u);
+  EXPECT_EQ(loaded->cells()[0].cfg.structure, StructureId::kNone);
+  EXPECT_DOUBLE_EQ(loaded->cells()[0].result.ns_per_op, 9.37);
+  EXPECT_DOUBLE_EQ(loaded->cells()[0].result.cycles_per_op, 25.3);
+}
+
 TEST(BenchReport, FromJsonRejectsForeignAndFutureFiles) {
   std::string error;
   EXPECT_FALSE(BenchReport::from_json("{}", &error).has_value());

@@ -263,6 +263,30 @@ TEST(Options, OpsFlagSetsBudget) {
   EXPECT_EQ(parse(kGoodArgs)->op_budget, 0u) << "default is a timed run";
 }
 
+TEST(Options, NoAsymFlagDisablesAsymmetricFences) {
+  EXPECT_TRUE(parse(kGoodArgs)->asymmetric_fences) << "default is on";
+  auto args = kGoodArgs;
+  args.push_back("--no-asym");
+  const auto cfg = parse(args);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_FALSE(cfg->asymmetric_fences);
+  // --asym re-arms (last flag wins is NOT the contract; both set the same
+  // field, the explicit spelling merely exists for A/B scripting).
+  auto args2 = kGoodArgs;
+  args2.push_back("--asym");
+  ASSERT_TRUE(parse(args2).has_value());
+  EXPECT_TRUE(parse(args2)->asymmetric_fences);
+}
+
+TEST(Options, MicroStructureNoneResolvesButIsNotIterable) {
+  EXPECT_EQ(structure_from_name("none"), StructureId::kNone);
+  for (StructureId s : kAllStructures) {
+    EXPECT_NE(s, StructureId::kNone) << "grids must never iterate 'none'";
+  }
+  EXPECT_FALSE(structure_from_mode("none").has_value())
+      << "'none' is not a paper-CLI mode";
+}
+
 TEST(Options, JsonPathSurfacesThroughBenchFlags) {
   auto args = kGoodArgs;
   args.push_back("--json");

@@ -1,0 +1,121 @@
+// Asymmetric-fence path resolution and the membarrier-unavailable fallback:
+// the knob selects the classic path exactly, the forced fallback engages
+// automatically, and scans still quiesce readers on every path.
+#include <gtest/gtest.h>
+
+#include "common/asymfence.hpp"
+#include "tests/test_util.hpp"
+
+namespace scot {
+namespace {
+
+using test::TestNode;
+
+// Restores the test hook on scope exit so a failing assertion cannot leak
+// the forced fallback into later tests.
+struct ForcedFallback {
+  explicit ForcedFallback(bool on = true) {
+    asymfence::force_fallback_for_testing(on);
+  }
+  ~ForcedFallback() { asymfence::force_fallback_for_testing(false); }
+};
+
+template <class Smr>
+class AsymFenceTest : public ::testing::Test {};
+
+using FenceBearingSchemes =
+    ::testing::Types<HpDomain, HpOptDomain, HeDomain, IbrDomain>;
+TYPED_TEST_SUITE(AsymFenceTest, FenceBearingSchemes);
+
+TYPED_TEST(AsymFenceTest, KnobOffResolvesClassic) {
+  SmrConfig cfg = test::small_config();
+  cfg.asymmetric_fences = false;
+  TypeParam smr(cfg);
+  EXPECT_EQ(smr.fence_path(), asymfence::Path::kClassic);
+}
+
+TYPED_TEST(AsymFenceTest, KnobOnResolvesAsymmetricPath) {
+  SmrConfig cfg = test::small_config();
+  cfg.asymmetric_fences = true;
+  TypeParam smr(cfg);
+  EXPECT_NE(smr.fence_path(), asymfence::Path::kClassic);
+}
+
+TYPED_TEST(AsymFenceTest, FallbackEngagesWhenMembarrierUnavailable) {
+  ForcedFallback forced;
+  SmrConfig cfg = test::small_config();
+  cfg.asymmetric_fences = true;
+  TypeParam smr(cfg);
+  EXPECT_EQ(smr.fence_path(), asymfence::Path::kFenceFallback);
+  EXPECT_STREQ(asymfence::runtime_path_name(), "fence-fallback");
+}
+
+// The core quiescence guarantee on the fallback path: a protected node
+// survives scan churn, and releasing the protection makes it reclaimable.
+TYPED_TEST(AsymFenceTest, FallbackScansStillQuiesceReaders) {
+  ForcedFallback forced;
+  SmrConfig cfg = test::small_config(2);
+  cfg.asymmetric_fences = true;
+  TypeParam smr(cfg);
+  ASSERT_EQ(smr.fence_path(), asymfence::Path::kFenceFallback);
+
+  auto& reader = smr.handle(0);
+  auto& writer = smr.handle(1);
+  auto* victim = writer.template alloc<TestNode>(std::uint64_t{42});
+  std::atomic<ReclaimNode*> src{victim};
+
+  reader.begin_op();
+  ReclaimNode* got = reader.protect(src, 0);
+  ASSERT_EQ(got, victim);
+  writer.retire(victim);
+  test::churn_retire(writer, 3000);  // force many scans (heavy barriers)
+  EXPECT_EQ(victim->debug_state, kNodeRetired)
+      << "fallback scans must still observe the protection";
+  EXPECT_EQ(static_cast<TestNode*>(got)->payload, 42u);
+  reader.end_op();
+
+  writer.scan();
+  EXPECT_EQ(victim->debug_state, kNodeFreed)
+      << "after release the fallback scan must reclaim the node";
+}
+
+// Same guarantee on whichever asymmetric path the host resolves (the
+// membarrier fast path on Linux, the fallback elsewhere) and on classic.
+TYPED_TEST(AsymFenceTest, ProtectionHoldsOnEveryPath) {
+  for (const bool asym : {true, false}) {
+    SmrConfig cfg = test::small_config(2);
+    cfg.asymmetric_fences = asym;
+    TypeParam smr(cfg);
+
+    auto& reader = smr.handle(0);
+    auto& writer = smr.handle(1);
+    auto* victim = writer.template alloc<TestNode>(std::uint64_t{7});
+    std::atomic<ReclaimNode*> src{victim};
+
+    reader.begin_op();
+    ASSERT_EQ(reader.protect(src, 0), victim);
+    writer.retire(victim);
+    test::churn_retire(writer, 2000);
+    EXPECT_EQ(victim->debug_state, kNodeRetired)
+        << (asym ? "asymmetric" : "classic") << " path lost a protection";
+    reader.end_op();
+  }
+}
+
+TEST(AsymFencePathNames, AreStable) {
+  EXPECT_STREQ(asymfence::path_name(asymfence::Path::kClassic), "classic");
+  EXPECT_STREQ(asymfence::path_name(asymfence::Path::kMembarrier),
+               "membarrier");
+  EXPECT_STREQ(asymfence::path_name(asymfence::Path::kFenceFallback),
+               "fence-fallback");
+}
+
+TEST(AsymFenceBarriers, FallbackBarriersAreCallable) {
+  // Smoke both barrier flavours on the fallback path (no registration
+  // required) — they must be plain fences, not syscalls that can fail.
+  asymfence::light_barrier(asymfence::Path::kFenceFallback);
+  asymfence::heavy_barrier(asymfence::Path::kFenceFallback);
+}
+
+}  // namespace
+}  // namespace scot
