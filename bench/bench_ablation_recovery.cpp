@@ -21,7 +21,7 @@ static CaseResult run_list(unsigned threads, std::uint64_t range, int ms,
   cfg.millis = ms;
   cfg.runs = env_runs();
   apply_session_flags(cfg);
-  const CaseResult r = detail::run_structure<
+  const CaseResult r = scot::bench::detail::run_structure<
       HarrisList<std::uint64_t, std::uint64_t, HpDomain, Traits>, HpDomain>(
       cfg);
   fig_record(std::string("recovery ablation, ") + variant, cfg, r);

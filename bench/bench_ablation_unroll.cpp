@@ -24,10 +24,10 @@ static CaseResult run_list(unsigned threads, std::uint64_t range, int ms,
   apply_session_flags(cfg);
   const CaseResult r =
       scheme == SchemeId::kHP
-          ? detail::run_structure<
+          ? scot::bench::detail::run_structure<
                 HarrisList<std::uint64_t, std::uint64_t, HpDomain, Traits>,
                 HpDomain>(cfg)
-          : detail::run_structure<
+          : scot::bench::detail::run_structure<
                 HarrisList<std::uint64_t, std::uint64_t, HeDomain, Traits>,
                 HeDomain>(cfg);
   fig_record(std::string("unroll ablation, ") + variant, cfg, r);

@@ -1,8 +1,8 @@
 // Regression gate over two scot-bench JSON result files (the --json output
 // of bench_cli and the figure/table binaries):
 //
-//     bench_diff [--threshold <pct>] [--report-only] <baseline.json>
-//                <candidate.json>
+//     bench_diff [--threshold <pct>] [--report-only] [--strict-hw]
+//                <baseline.json> <candidate.json>
 //
 // Cells are matched by workload identity (bench, label, structure, scheme,
 // threads, key range, mix, distribution); seed/duration/runs are ignored so
@@ -10,10 +10,17 @@
 // regresses when candidate throughput drops more than <pct> percent below
 // the baseline (default 5).
 //
+// When the two reports record different meta.hardware_threads the deltas
+// measure the machines, not the code; bench_diff always warns about the
+// mismatch, and with --strict-hw treats it as an input error (exit 2,
+// --report-only notwithstanding: asking for strictness and ignoring it
+// would be worse than either alone).
+//
 // Exit codes: 0 = no regressions, 1 = regression(s), 2 = usage error,
-// unreadable/invalid input, or an empty cell intersection.  Under
-// --report-only only unreadable/invalid input still fails (exit 2); every
-// comparison outcome exits 0.
+// unreadable/invalid input, an empty cell intersection, or a
+// hardware-thread mismatch under --strict-hw.  Under --report-only only
+// those input errors still fail (exit 2); every comparison outcome exits
+// 0.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -27,7 +34,7 @@ using namespace scot::bench;
 
 static void usage(std::FILE* f, const char* argv0) {
   std::fprintf(f,
-               "usage: %s [--threshold <pct>] [--report-only] "
+               "usage: %s [--threshold <pct>] [--report-only] [--strict-hw] "
                "<baseline.json> <candidate.json>\n",
                argv0);
 }
@@ -35,6 +42,7 @@ static void usage(std::FILE* f, const char* argv0) {
 int main(int argc, char** argv) {
   DiffOptions options;
   bool report_only = false;
+  bool strict_hw = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
@@ -44,6 +52,10 @@ int main(int argc, char** argv) {
     }
     if (a == "--report-only") {
       report_only = true;
+      continue;
+    }
+    if (a == "--strict-hw") {
+      strict_hw = true;
       continue;
     }
     if (a == "--threshold") {
@@ -91,6 +103,15 @@ int main(int argc, char** argv) {
               candidate->meta().timestamp_utc.c_str());
 
   const DiffReport diff = diff_reports(*baseline, *candidate, options);
+
+  if (diff.hw_mismatch) {
+    std::fprintf(stderr,
+                 "%s: WARNING: hardware_threads differ (baseline %u, "
+                 "candidate %u) — deltas compare machines, not code%s\n",
+                 argv[0], diff.baseline_hw_threads, diff.candidate_hw_threads,
+                 strict_hw ? "" : " (use --strict-hw to fail on this)");
+    if (strict_hw) return 2;
+  }
 
   Table t({"cell", "base Mops", "cand Mops", "delta%", ""});
   for (const CellDelta& d : diff.deltas) {

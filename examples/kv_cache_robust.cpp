@@ -13,7 +13,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/core.hpp"
+#include "scot.hpp"
 
 using namespace scot;
 

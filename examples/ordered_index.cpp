@@ -14,7 +14,7 @@
 #include <vector>
 
 #include "common/xorshift.hpp"
-#include "core/core.hpp"
+#include "scot.hpp"
 
 using namespace scot;
 

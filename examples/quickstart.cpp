@@ -1,13 +1,17 @@
-// Quickstart: the smallest complete SCOT program.
+// Quickstart: the smallest complete SCOT program, against the single
+// public entry point (scot.hpp, API v2).
 //
 // Creates a hazard-pointer reclamation domain, a Harris list with SCOT
 // traversals on top of it, and runs a few threads of mixed operations.
+// Scheme and structure are compile-time types here; see
+// examples/any_map_runtime.cpp for picking both at runtime through
+// scot::AnyMap.
 // Build & run:  ./examples/quickstart
 #include <cstdio>
 #include <thread>
 #include <vector>
 
-#include "core/core.hpp"
+#include "scot.hpp"
 
 int main() {
   using namespace scot;

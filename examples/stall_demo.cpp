@@ -11,7 +11,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/core.hpp"
+#include "scot.hpp"
 
 using namespace scot;
 

@@ -1,4 +1,11 @@
 // Benchmark-harness configuration shared by every figure/table binary.
+//
+// Scheme/structure identity — the enums, the name tables, and the reverse
+// lookups — lives in the library's runtime registries (src/smr/registry.hpp
+// and src/core/registry.hpp) since API v2; this header re-exports them into
+// scot::bench so every pre-v2 spelling keeps compiling.  The registries are
+// the single source of truth: options_test asserts the CLI resolves
+// through them.
 #pragma once
 
 #include <cerrno>
@@ -10,85 +17,20 @@
 #include <string_view>
 #include <vector>
 
+#include "core/registry.hpp"
+#include "smr/registry.hpp"
+
 namespace scot::bench {
 
-enum class SchemeId { kNR, kEBR, kHP, kHPopt, kHE, kIBR, kHLN };
-enum class StructureId {
-  kHMList,
-  kHList,
-  kHListWF,
-  kNMTree,
-  kHashMap,
-  kSkipList,       // Fraser-style optimistic traversal with SCOT
-  kSkipListEager,  // Herlihy-Shavit-style eager unlink (baseline)
-  kNone,           // SMR-layer microbench cells (no data structure)
-};
-
-inline constexpr SchemeId kAllSchemes[] = {
-    SchemeId::kNR, SchemeId::kEBR, SchemeId::kHP,  SchemeId::kHPopt,
-    SchemeId::kHE, SchemeId::kIBR, SchemeId::kHLN};
-
-inline const char* scheme_name(SchemeId s) {
-  switch (s) {
-    case SchemeId::kNR: return "NR";
-    case SchemeId::kEBR: return "EBR";
-    case SchemeId::kHP: return "HP";
-    case SchemeId::kHPopt: return "HPopt";
-    case SchemeId::kHE: return "HE";
-    case SchemeId::kIBR: return "IBR";
-    case SchemeId::kHLN: return "HLN";
-  }
-  return "?";
-}
-
-inline constexpr StructureId kAllStructures[] = {
-    StructureId::kHMList,  StructureId::kHList,    StructureId::kHListWF,
-    StructureId::kNMTree,  StructureId::kHashMap,  StructureId::kSkipList,
-    StructureId::kSkipListEager};
-
-inline const char* structure_name(StructureId s) {
-  switch (s) {
-    case StructureId::kHMList: return "HMList";
-    case StructureId::kHList: return "HList";
-    case StructureId::kHListWF: return "HListWF";
-    case StructureId::kNMTree: return "NMTree";
-    case StructureId::kHashMap: return "HashMap";
-    case StructureId::kSkipList: return "SkipList";
-    case StructureId::kSkipListEager: return "SkipListHS";
-    case StructureId::kNone: return "none";
-  }
-  return "?";
-}
-
-// Reverse lookups for the paper-artifact CLI spellings (Appendix A.5).
-inline std::optional<SchemeId> scheme_from_name(std::string_view name) {
-  for (SchemeId s : kAllSchemes) {
-    if (name == scheme_name(s)) return s;
-  }
-  return std::nullopt;
-}
-
-// Reverse of structure_name(); used when loading JSON reports.  "none" is
-// resolvable (micro-SMR cells carry it) but deliberately absent from
-// kAllStructures, so no grid ever iterates it.
-inline std::optional<StructureId> structure_from_name(std::string_view name) {
-  if (name == structure_name(StructureId::kNone)) return StructureId::kNone;
-  for (StructureId s : kAllStructures) {
-    if (name == structure_name(s)) return s;
-  }
-  return std::nullopt;
-}
-
-inline std::optional<StructureId> structure_from_mode(std::string_view mode) {
-  if (mode == "listlf") return StructureId::kHList;
-  if (mode == "listwf") return StructureId::kHListWF;
-  if (mode == "listhm") return StructureId::kHMList;
-  if (mode == "tree") return StructureId::kNMTree;
-  if (mode == "hash") return StructureId::kHashMap;
-  if (mode == "skip") return StructureId::kSkipList;
-  if (mode == "skiphs") return StructureId::kSkipListEager;
-  return std::nullopt;
-}
+using scot::SchemeId;
+using scot::StructureId;
+using scot::kAllSchemes;
+using scot::kAllStructures;
+using scot::scheme_from_name;
+using scot::scheme_name;
+using scot::structure_from_mode;
+using scot::structure_from_name;
+using scot::structure_name;
 
 // Key-access distribution of the measured phase.  Prefill always inserts
 // uniformly (structure *contents* cover the range either way); the

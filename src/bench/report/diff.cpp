@@ -14,6 +14,11 @@ DiffReport diff_reports(const BenchReport& baseline,
     cand_by_key.emplace(cell_key(c), &c);
 
   DiffReport out;
+  out.baseline_hw_threads = baseline.meta().hardware_threads;
+  out.candidate_hw_threads = candidate.meta().hardware_threads;
+  out.hw_mismatch = out.baseline_hw_threads != 0 &&
+                    out.candidate_hw_threads != 0 &&
+                    out.baseline_hw_threads != out.candidate_hw_threads;
   std::map<std::string, bool> base_keys;
   for (const ReportCell& b : baseline.cells()) {
     const std::string key = cell_key(b);

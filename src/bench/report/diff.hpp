@@ -29,6 +29,15 @@ struct DiffReport {
   std::vector<std::string> only_baseline;  // keys the candidate is missing
   std::vector<std::string> only_candidate;
   int regressions = 0;
+  // Hardware comparability: throughput deltas between runs captured on
+  // machines with different hardware-thread counts measure the machines,
+  // not the code (the committed 1-core baseline vs. a multi-core CI runner
+  // being the motivating case).  `hw_mismatch` is set when both reports
+  // recorded a nonzero meta.hardware_threads and they differ; bench_diff
+  // warns on it, and fails under --strict-hw.
+  unsigned baseline_hw_threads = 0;
+  unsigned candidate_hw_threads = 0;
+  bool hw_mismatch = false;
 };
 
 DiffReport diff_reports(const BenchReport& baseline,

@@ -1,18 +1,45 @@
+// Registry-driven run_case: builds the (scheme, structure) cell through
+// scot::AnyMap and feeds it to the generic measured loop.  This single
+// translation unit replaces the seven per-scheme runner_<scheme>.cpp TUs
+// the harness used to need for compile-time scheme selection.
 #include "bench/runner.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/runner_impl.hpp"
+#include "core/any_map.hpp"
 
 namespace scot::bench {
 
-CaseResult run_case(const CaseConfig& cfg) {
-  switch (cfg.scheme) {
-    case SchemeId::kNR: return run_case_nr(cfg);
-    case SchemeId::kEBR: return run_case_ebr(cfg);
-    case SchemeId::kHP: return run_case_hp(cfg);
-    case SchemeId::kHPopt: return run_case_hpopt(cfg);
-    case SchemeId::kHE: return run_case_he(cfg);
-    case SchemeId::kIBR: return run_case_ibr(cfg);
-    case SchemeId::kHLN: return run_case_hyaline(cfg);
+namespace {
+
+CaseResult run_one_any(const CaseConfig& cfg, std::uint64_t run_seed) {
+  AnyMapOptions options;
+  options.smr = detail::smr_config_for(cfg);
+  options.hash_buckets = detail::bucket_count_for(cfg);
+  auto map = AnyMap::make(cfg.scheme, cfg.structure, options);
+  if (!map) {
+    // The v1 per-scheme switch could not miss a case without a compiler
+    // warning; the runtime registry can (a dropped registration line).
+    // Emitting a fake 0.0-Mops cell would poison JSON reports and
+    // baselines, so fail loudly instead.
+    std::fprintf(stderr,
+                 "run_case: no registered AnyMap cell for %s/%s — "
+                 "check src/core/any_map.cpp registrations\n",
+                 scheme_name(cfg.scheme), structure_name(cfg.structure));
+    std::exit(2);
   }
-  return {};
+  return detail::run_one_map(*map, cfg, run_seed);
+}
+
+}  // namespace
+
+CaseResult run_case(const CaseConfig& cfg) {
+  if (cfg.structure == StructureId::kNone)
+    return {};  // micro-SMR cells are never run through the harness
+  return detail::median_of_runs(
+      cfg, [&](std::uint64_t seed) { return run_one_any(cfg, seed); });
 }
 
 }  // namespace scot::bench

@@ -1,7 +1,10 @@
 // Entry point of the benchmark harness: runs one (structure, scheme,
 // threads, workload) cell and reports throughput / memory overhead /
-// restart statistics.  The template instantiations live in one translation
-// unit per scheme (runner_<scheme>.cpp) to keep compile times parallel.
+// restart statistics.  Since API v2 there is a single registry-driven
+// implementation (runner.cpp): the cell is built through scot::AnyMap, so
+// scheme and structure are runtime values and no per-scheme translation
+// units exist.  Virtual dispatch is per *operation*; the protect() fast
+// path inside an operation is the fully typed code.
 #pragma once
 
 #include "bench/options.hpp"
@@ -9,14 +12,5 @@
 namespace scot::bench {
 
 CaseResult run_case(const CaseConfig& cfg);
-
-// Per-scheme dispatchers (implemented in runner_<scheme>.cpp).
-CaseResult run_case_nr(const CaseConfig& cfg);
-CaseResult run_case_ebr(const CaseConfig& cfg);
-CaseResult run_case_hp(const CaseConfig& cfg);
-CaseResult run_case_hpopt(const CaseConfig& cfg);
-CaseResult run_case_he(const CaseConfig& cfg);
-CaseResult run_case_ibr(const CaseConfig& cfg);
-CaseResult run_case_hyaline(const CaseConfig& cfg);
 
 }  // namespace scot::bench

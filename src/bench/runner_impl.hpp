@@ -1,14 +1,22 @@
-// Generic benchmark loop, instantiated once per SMR scheme.
+// Generic benchmark loop.
 //
 // Protocol (paper §5): prefill the structure with unique keys covering 50%
 // of the key range, then run `threads` workers for `millis` ms applying the
 // read/insert/delete mix; report throughput, and (optionally) sample the
 // domain-wide count of retired-but-unreclaimed nodes every few milliseconds.
+//
+// The measured loop (`run_one_map`) is written against a *map-like* value:
+// tid-indexed insert/erase/contains plus the pending/restart telemetry —
+// exactly the surface of scot::AnyMap.  The registry-driven run_case()
+// (bench/runner.cpp) feeds it AnyMap cells; the trait-ablation binaries,
+// which exercise structure variants that have no StructureId, feed it a
+// typed adapter via run_structure<DS, Smr>.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -38,30 +46,38 @@ inline std::uint64_t scramble(std::uint64_t x) {
   return x;
 }
 
+// The domain configuration every harness run uses (paper calibration).
+inline SmrConfig smr_config_for(const CaseConfig& cfg) {
+  SmrConfig scfg;
+  scfg.max_threads = cfg.threads;
+  scfg.scan_threshold = 128;        // paper calibration
+  scfg.era_freq = 12 * cfg.threads; // paper calibration
+  scfg.track_stats = cfg.sample_memory;
+  scfg.asymmetric_fences = cfg.asymmetric_fences;
+  return scfg;
+}
+
+// Harness bucket heuristic for HashMap cells: one shared definition so the
+// typed-ablation path and the registry path benchmark the same structure.
+inline std::size_t bucket_count_for(const CaseConfig& cfg) {
+  return cfg.hash_buckets != 0
+             ? cfg.hash_buckets
+             : std::max<std::size_t>(1, cfg.key_range / 8);
+}
+
 template <class DS, class Smr>
 std::unique_ptr<DS> make_structure(Smr& smr, const CaseConfig& cfg) {
   if constexpr (requires { DS(smr, std::size_t{1}); }) {
-    const std::size_t buckets =
-        cfg.hash_buckets != 0
-            ? cfg.hash_buckets
-            : std::max<std::size_t>(1, cfg.key_range / 8);
-    return std::make_unique<DS>(smr, buckets);
+    return std::make_unique<DS>(smr, bucket_count_for(cfg));
   } else {
     return std::make_unique<DS>(smr);
   }
 }
 
-template <class DS, class Smr>
-CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
-  SmrConfig scfg;
-  scfg.max_threads = cfg.threads;
-  scfg.scan_threshold = 128;                 // paper calibration
-  scfg.era_freq = 12 * cfg.threads;          // paper calibration
-  scfg.track_stats = cfg.sample_memory;
-  scfg.asymmetric_fences = cfg.asymmetric_fences;
-  Smr smr(scfg);
-  auto ds = make_structure<DS, Smr>(smr, cfg);
-
+// One measured run over a map-like value (see the header comment).
+template <class MapLike>
+CaseResult run_one_map(MapLike& map, const CaseConfig& cfg,
+                       std::uint64_t run_seed) {
   // --- parallel prefill: unique keys, 50% of the range ---
   // Prefill always draws uniformly: the key *distribution* shapes which
   // keys the measured phase touches, not what the structure contains.
@@ -72,11 +88,10 @@ CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
     for (unsigned t = 0; t < cfg.threads; ++t) {
       ts.emplace_back([&, t] {
         if (cfg.pin_threads) pin_this_thread(t);
-        auto& h = smr.handle(t);
         Xoshiro256 rng(run_seed * 0x51ed2701 + t);
         while (inserted.load(std::memory_order_relaxed) < target) {
           const std::uint64_t k = rng.next_in(cfg.key_range);
-          if (ds->insert(h, k, k)) {
+          if (map.insert(t, k, k)) {
             inserted.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -102,7 +117,6 @@ CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
   for (unsigned t = 0; t < cfg.threads; ++t) {
     workers.emplace_back([&, t] {
       if (cfg.pin_threads) pin_this_thread(t);
-      auto& h = smr.handle(t);
       Xoshiro256 rng(run_seed * 0x9e3779b9 + 1000003ULL * t);
       while (!go.load(std::memory_order_acquire)) cpu_relax();
       std::uint64_t local = 0, nread = 0, nins = 0, ndel = 0;
@@ -120,13 +134,13 @@ CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
                  : rng.next_in(cfg.key_range);
         const auto roll = static_cast<int>(rng.next_in(100));
         if (roll < cfg.read_pct) {
-          ds->contains(h, k);
+          map.contains(t, k);
           ++nread;
         } else if (roll < cfg.read_pct + cfg.insert_pct) {
-          ds->insert(h, k, k);
+          map.insert(t, k, k);
           ++nins;
         } else {
-          ds->erase(h, k);
+          map.erase(t, k);
           ++ndel;
         }
         ++local;
@@ -148,7 +162,7 @@ CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
   if (cfg.sample_memory) {
     sampler = std::thread([&] {
       while (!sampler_stop.load(std::memory_order_relaxed)) {
-        const std::int64_t p = smr.pending_nodes();
+        const std::int64_t p = map.pending_nodes();
         pending_sum += static_cast<double>(p);
         ++pending_samples;
         pending_peak = std::max(pending_peak, p);
@@ -182,19 +196,66 @@ CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
   if (pending_samples > 0)
     r.avg_pending = pending_sum / static_cast<double>(pending_samples);
   r.peak_pending = pending_peak;
-  for (unsigned t = 0; t < cfg.threads; ++t) {
-    r.restarts += smr.handle(t).ds_restarts;
-    r.recoveries += smr.handle(t).ds_recoveries;
-  }
+  r.restarts = map.restarts();
+  r.recoveries = map.recoveries();
   return r;
 }
 
+// Typed adapter giving a (domain, structure) pair the map-like surface.
+// Used by the trait-ablation binaries; the registry-backed path goes
+// through scot::AnyMap instead.  Handles are resolved once at construction
+// so the measured loop never pays the domain's bounds-checked lookup.
 template <class DS, class Smr>
-CaseResult run_structure(const CaseConfig& cfg) {
+struct TypedMapAdapter {
+  Smr& smr;
+  DS& ds;
+  std::vector<typename Smr::Handle*> handles;
+
+  TypedMapAdapter(Smr& smr_in, DS& ds_in) : smr(smr_in), ds(ds_in) {
+    handles.reserve(smr.config().max_threads);
+    for (unsigned t = 0; t < smr.config().max_threads; ++t)
+      handles.push_back(&smr.handle(t));
+  }
+
+  bool insert(unsigned tid, std::uint64_t k, std::uint64_t v) {
+    return ds.insert(*handles[tid], k, v);
+  }
+  bool erase(unsigned tid, std::uint64_t k) {
+    return ds.erase(*handles[tid], k);
+  }
+  bool contains(unsigned tid, std::uint64_t k) {
+    return ds.contains(*handles[tid], k);
+  }
+  std::int64_t pending_nodes() const { return smr.pending_nodes(); }
+  std::uint64_t restarts() const {
+    std::uint64_t n = 0;
+    for (unsigned t = 0; t < smr.config().max_threads; ++t)
+      n += smr.handle(t).ds_restarts;
+    return n;
+  }
+  std::uint64_t recoveries() const {
+    std::uint64_t n = 0;
+    for (unsigned t = 0; t < smr.config().max_threads; ++t)
+      n += smr.handle(t).ds_recoveries;
+    return n;
+  }
+};
+
+template <class DS, class Smr>
+CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
+  Smr smr(smr_config_for(cfg));
+  auto ds = make_structure<DS, Smr>(smr, cfg);
+  TypedMapAdapter<DS, Smr> adapter{smr, *ds};
+  return run_one_map(adapter, cfg, run_seed);
+}
+
+// Median of cfg.runs fresh runs.
+template <class Runner>
+CaseResult median_of_runs(const CaseConfig& cfg, Runner&& one_run) {
   std::vector<CaseResult> results;
   results.reserve(cfg.runs);
   for (unsigned i = 0; i < cfg.runs; ++i)
-    results.push_back(run_one<DS, Smr>(cfg, cfg.seed + i));
+    results.push_back(one_run(cfg.seed + i));
   std::sort(results.begin(), results.end(),
             [](const CaseResult& a, const CaseResult& b) {
               return a.mops < b.mops;
@@ -202,31 +263,11 @@ CaseResult run_structure(const CaseConfig& cfg) {
   return results[results.size() / 2];  // median run
 }
 
-template <class Smr>
-CaseResult run_with_scheme(const CaseConfig& cfg) {
-  using Key = std::uint64_t;
-  using Value = std::uint64_t;
-  switch (cfg.structure) {
-    case StructureId::kHMList:
-      return run_structure<HarrisMichaelList<Key, Value, Smr>, Smr>(cfg);
-    case StructureId::kHList:
-      return run_structure<HarrisList<Key, Value, Smr>, Smr>(cfg);
-    case StructureId::kHListWF:
-      return run_structure<
-          HarrisList<Key, Value, Smr, HarrisListWaitFreeTraits>, Smr>(cfg);
-    case StructureId::kNMTree:
-      return run_structure<NatarajanMittalTree<Key, Value, Smr>, Smr>(cfg);
-    case StructureId::kHashMap:
-      return run_structure<HashMap<Key, Value, Smr>, Smr>(cfg);
-    case StructureId::kSkipList:
-      return run_structure<SkipList<Key, Value, Smr>, Smr>(cfg);
-    case StructureId::kSkipListEager:
-      return run_structure<SkipList<Key, Value, Smr, SkipListEagerTraits>,
-                           Smr>(cfg);
-    case StructureId::kNone:
-      break;  // micro-SMR cells are never run through the harness
-  }
-  return {};
+template <class DS, class Smr>
+CaseResult run_structure(const CaseConfig& cfg) {
+  return median_of_runs(cfg, [&](std::uint64_t seed) {
+    return run_one<DS, Smr>(cfg, seed);
+  });
 }
 
 }  // namespace detail

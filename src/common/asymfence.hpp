@@ -36,7 +36,52 @@
 #include <unistd.h>
 #endif
 
+// ThreadSanitizer does not instrument stand-alone atomic_thread_fence (GCC
+// even warns "'atomic_thread_fence' is not supported with
+// '-fsanitize=thread'"), so orderings established only by a fence are
+// invisible to the race detector — a fence-shaped blind spot.  Under TSan
+// we substitute a seq_cst RMW on a process-wide dummy atomic, which TSan
+// does model; on real hardware an RMW is at least as strong as the fence it
+// replaces, and outside TSan builds the plain fence is kept.
+#if defined(__SANITIZE_THREAD__)
+#define SCOT_TSAN_FENCES 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SCOT_TSAN_FENCES 1
+#endif
+#endif
+#ifndef SCOT_TSAN_FENCES
+#define SCOT_TSAN_FENCES 0
+#endif
+
 namespace scot::asymfence {
+
+#if SCOT_TSAN_FENCES
+namespace detail {
+inline std::atomic<unsigned>& fence_sink() noexcept {
+  static std::atomic<unsigned> sink{0};
+  return sink;
+}
+}  // namespace detail
+#endif
+
+// TSan-aware stand-alone fences.  All raw atomic_thread_fence uses in the
+// library route through these so TSan sees every fence-carried edge.
+inline void release_fence() noexcept {
+#if SCOT_TSAN_FENCES
+  detail::fence_sink().fetch_add(1, std::memory_order_release);
+#else
+  std::atomic_thread_fence(std::memory_order_release);
+#endif
+}
+
+inline void seq_cst_fence() noexcept {
+#if SCOT_TSAN_FENCES
+  detail::fence_sink().fetch_add(1, std::memory_order_seq_cst);
+#else
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+}
 
 enum class Path {
   kClassic,        // asymmetric fences disabled by config
@@ -138,7 +183,9 @@ inline void light_barrier(Path p) noexcept {
     // hardware StoreLoad edge on the rare reclaimer side.
     std::atomic_signal_fence(std::memory_order_seq_cst);
   } else {
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Fallback: a real full fence per slot (TSan-aware, so the reader /
+    // reclaimer pairing stays visible to the race detector).
+    seq_cst_fence();
   }
 }
 
@@ -157,7 +204,7 @@ inline void heavy_barrier(Path p) noexcept {
   // Fallback path — readers already fence per slot, so a local full fence
   // is all the reclaimer needs.  Also the safety net for a post-registration
   // syscall failure, which the kernel contract rules out.
-  std::atomic_thread_fence(std::memory_order_seq_cst);
+  seq_cst_fence();
 }
 
 }  // namespace scot::asymfence

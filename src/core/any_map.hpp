@@ -1,0 +1,108 @@
+// scot::AnyMap — the type-erased facade over the scheme × structure cross
+// product, driven by the runtime registry (core/registry.hpp).
+//
+// AnyMap lets callers pick the reclamation scheme and the data structure as
+// *runtime values* — the capability the per-scheme bench translation units
+// used to fake with 7 copies of the same template instantiation.  Virtual
+// dispatch sits only at operation granularity (one indirect call per
+// insert/erase/contains/get); inside an operation the fully typed traversal
+// runs, protect() included, so the PR 3 asymmetric-fence fast path is
+// untouched (acceptance-checked by bench_micro_smr against BENCH_pr3.json).
+//
+// Threading contract: identical to the typed structures.  `tid` selects the
+// per-thread handle of the underlying domain; a given tid must only ever be
+// used by one thread at a time, and tids are dense in
+// [0, options.smr.max_threads).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/registry.hpp"
+#include "smr/registry.hpp"
+#include "smr/smr_config.hpp"
+
+namespace scot {
+
+struct AnyMapOptions {
+  SmrConfig smr;                 // domain configuration (max_threads, ...)
+  std::size_t hash_buckets = 0;  // HashMap cells only; 0 = 64 buckets
+};
+
+namespace detail {
+
+// The abstract implementation the registry factories produce.  One concrete
+// TypedAnyMap<Smr, DS> per registered cell lives in src/core/any_map.cpp.
+class AnyMapImpl {
+ public:
+  virtual ~AnyMapImpl() = default;
+  virtual bool insert(unsigned tid, std::uint64_t key, std::uint64_t value) = 0;
+  virtual bool erase(unsigned tid, std::uint64_t key) = 0;
+  virtual bool contains(unsigned tid, std::uint64_t key) = 0;
+  virtual std::optional<std::uint64_t> get(unsigned tid, std::uint64_t key) = 0;
+  virtual std::size_t size_unsafe() const = 0;
+  virtual std::int64_t pending_nodes() const = 0;
+  virtual std::uint64_t restarts() const = 0;
+  virtual std::uint64_t recoveries() const = 0;
+};
+
+}  // namespace detail
+
+class AnyMap {
+ public:
+  using Key = std::uint64_t;
+  using Value = std::uint64_t;
+
+  // Builds the (scheme, structure) cell through the runtime registry.
+  // Returns nullopt for unregistered cells (e.g. StructureId::kNone).
+  // Defined in src/core/any_map.cpp, the only TU that pays for the cross
+  // product's template instantiations.
+  static std::optional<AnyMap> make(SchemeId scheme, StructureId structure,
+                                    const AnyMapOptions& options = {});
+
+  AnyMap(AnyMap&&) = default;
+  AnyMap& operator=(AnyMap&&) = default;
+
+  // --- operations (one virtual hop each; `tid` picks the handle) ----------
+  bool insert(unsigned tid, Key key, Value value = {}) {
+    return impl_->insert(tid, key, value);
+  }
+  bool erase(unsigned tid, Key key) { return impl_->erase(tid, key); }
+  bool contains(unsigned tid, Key key) { return impl_->contains(tid, key); }
+  std::optional<Value> get(unsigned tid, Key key) {
+    return impl_->get(tid, key);
+  }
+
+  // --- observers -----------------------------------------------------------
+  // Single-threaded full iteration over the structure (tests/teardown only).
+  std::size_t size_unsafe() const { return impl_->size_unsafe(); }
+  // Domain-wide retired-but-unreclaimed gauge (the paper's Figures 10-12).
+  std::int64_t pending_nodes() const { return impl_->pending_nodes(); }
+  // Table 2 telemetry, summed over all handles.
+  std::uint64_t restarts() const { return impl_->restarts(); }
+  std::uint64_t recoveries() const { return impl_->recoveries(); }
+
+  SchemeId scheme() const { return scheme_; }
+  StructureId structure() const { return structure_; }
+  const char* scheme_name() const { return scot::scheme_name(scheme_); }
+  const char* structure_name() const {
+    return scot::structure_name(structure_);
+  }
+  unsigned max_threads() const { return max_threads_; }
+
+ private:
+  AnyMap(SchemeId scheme, StructureId structure, unsigned max_threads,
+         std::unique_ptr<detail::AnyMapImpl> impl)
+      : scheme_(scheme),
+        structure_(structure),
+        max_threads_(max_threads),
+        impl_(std::move(impl)) {}
+
+  SchemeId scheme_;
+  StructureId structure_;
+  unsigned max_threads_;
+  std::unique_ptr<detail::AnyMapImpl> impl_;
+};
+
+}  // namespace scot

@@ -6,6 +6,7 @@
 #include "core/hash_map.hpp"
 #include "core/marked_ptr.hpp"
 #include "core/nm_tree.hpp"
+#include "core/registry.hpp"
 #include "core/skip_list.hpp"
 #include "core/wait_free.hpp"
 #include "smr/smr.hpp"

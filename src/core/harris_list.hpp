@@ -25,8 +25,10 @@
 //   kRecovery  — §3.2.1 recovery optimization;
 //   kWaitFree  — §3.4 wait-free Search via the helping protocol.
 //
-// Hazard-slot roles (ascending-dup discipline, paper §3.2):
-//   Hp0 = next, Hp1 = curr, Hp2 = last safe (prev), Hp3 = first unsafe.
+// Protection roles (API v2 guard slots, allocated in ascending order so the
+// ascending-dup discipline of paper §3.2 holds by construction):
+//   hp.next = next, hp.curr = curr, hp.prev = last safe, hp.unsafe = first
+//   unsafe.
 #pragma once
 
 #include <cassert>
@@ -62,7 +64,7 @@ struct HarrisListWaitFreeTraits : HarrisListTraits {
   static constexpr bool kWaitFree = true;
 };
 
-template <class Key, class Value, SmrDomain Smr,
+template <class Key, class Value, SmrDomainV2 Smr,
           class Traits = HarrisListTraits, class Compare = std::less<Key>>
 class HarrisList {
  public:
@@ -72,12 +74,22 @@ class HarrisList {
   // head is one too: traversal code points at head and node links alike).
   using Link = StableAtomic<MP>;
   using Handle = typename Smr::Handle;
+  using Guard = TraversalGuard<Handle>;
+  using NodeSlot = ProtectionSlot<Handle, Node>;
 
-  static constexpr unsigned kHpNext = 0;
-  static constexpr unsigned kHpCurr = 1;
-  static constexpr unsigned kHpPrev = 2;
-  static constexpr unsigned kHpUnsafe = 3;
   static constexpr unsigned kSlotsRequired = 4;
+
+  // The traversal's protection roles.  Construction order is the slot
+  // index order, so every dup_from below copies toward a higher index
+  // (paper §3.2; asserted by ProtectionSlot).
+  struct Hp {
+    NodeSlot next, curr, prev, unsafe;
+    explicit Hp(Guard& g)
+        : next(g.template slot<Node>()),
+          curr(g.template slot<Node>()),
+          prev(g.template slot<Node>()),
+          unsafe(g.template slot<Node>()) {}
+  };
 
   explicit HarrisList(Smr& smr, Compare cmp = {}) : smr_(smr), cmp_(cmp) {
     Node* tail = smr_.handle(0).template alloc<Node>(Key{}, Value{}, 1);
@@ -102,12 +114,13 @@ class HarrisList {
 
   // Inserts `key`; returns false if already present.
   bool insert(Handle& h, const Key& key, const Value& value = {}) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     Node* n = h.template alloc<Node>(key, value, 0);
     for (;;) {
-      if constexpr (Traits::kWaitFree) help_others(h);
+      if constexpr (Traits::kWaitFree) help_others(guard, hp);
       Position pos;
-      do_find(h, key, /*search_only=*/false, pos, DefaultControl{});
+      do_find(guard, hp, key, /*search_only=*/false, pos, DefaultControl{});
       if (pos.found) {
         h.dealloc_unpublished(n);
         return false;
@@ -124,11 +137,12 @@ class HarrisList {
 
   // Removes `key`; returns false if absent.
   bool erase(Handle& h, const Key& key) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     for (;;) {
-      if constexpr (Traits::kWaitFree) help_others(h);
+      if constexpr (Traits::kWaitFree) help_others(guard, hp);
       Position pos;
-      do_find(h, key, /*search_only=*/false, pos, DefaultControl{});
+      do_find(guard, hp, key, /*search_only=*/false, pos, DefaultControl{});
       if (!pos.found) return false;
       MP next = pos.next;
       assert(!next.marked());
@@ -153,17 +167,18 @@ class HarrisList {
   // Membership test.  Lock-free by default; wait-free with
   // Traits::kWaitFree (fast path + helping slow path, §3.4).
   bool contains(Handle& h, const Key& key) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     if constexpr (Traits::kWaitFree) {
       Position pos;
-      FindOutcome out = do_find(h, key, /*search_only=*/true, pos,
+      FindOutcome out = do_find(guard, hp, key, /*search_only=*/true, pos,
                                 BoundedControl{Traits::kFastPathRestarts});
       if (out == FindOutcome::kOk) return pos.found;
       const std::uint64_t tag = wf_->request_help(h.tid(), key);
-      return slow_search(h, key, tag, h.tid());
+      return slow_search(guard, hp, key, tag, h.tid());
     } else {
       Position pos;
-      do_find(h, key, /*search_only=*/true, pos, DefaultControl{});
+      do_find(guard, hp, key, /*search_only=*/true, pos, DefaultControl{});
       return pos.found;
     }
   }
@@ -171,11 +186,12 @@ class HarrisList {
   // Lookup with value copy (lock-free path only; values are immutable once
   // inserted).
   std::optional<Value> get(Handle& h, const Key& key) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     Position pos;
-    do_find(h, key, /*search_only=*/true, pos, DefaultControl{});
+    do_find(guard, hp, key, /*search_only=*/true, pos, DefaultControl{});
     if (!pos.found) return std::nullopt;
-    return pos.curr->value;  // protected by Hp1
+    return pos.curr->value;  // protected by hp.curr
   }
 
   // Test-only: performs the logical deletion of `key` (marking the node's
@@ -184,10 +200,11 @@ class HarrisList {
   // the dangerous-zone tests traverse and prune.  Not part of the public
   // set semantics.
   bool debug_mark_only(Handle& h, const Key& key) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     for (;;) {
       Position pos;
-      do_find(h, key, /*search_only=*/true, pos, DefaultControl{});
+      do_find(guard, hp, key, /*search_only=*/true, pos, DefaultControl{});
       if (!pos.found) return false;
       MP next = pos.next;
       if (pos.curr->next.compare_exchange_strong(next, next.with_mark(),
@@ -265,8 +282,9 @@ class HarrisList {
   // caller, unlinking the marked chain adjacent to it when
   // `!search_only` (Figure 3, L43-44 semantics).
   template <class Control>
-  FindOutcome do_find(Handle& h, const Key& key, bool search_only,
+  FindOutcome do_find(Guard& g, Hp& hp, const Key& key, bool search_only,
                       Position& out, Control control) {
+    Handle& h = g.handle();
     // All locals hoisted so that `goto restart` stays well-formed.
     Link* prev;
     MP prev_next;  // expected value of *prev while inside a dangerous zone
@@ -282,7 +300,7 @@ class HarrisList {
     if (!control.on_restart()) return FindOutcome::kAborted;
 
   init:
-    h.revalidate_op();
+    g.revalidate();
     switch (control.poll()) {
       case WfPoll::kContinue:
         break;
@@ -295,11 +313,11 @@ class HarrisList {
     prev = &head_;
     prev_next = MP{};
     in_zone = false;
-    tmp = h.protect(head_, kHpCurr);
-    if (!h.op_valid()) goto restart;
+    tmp = hp.curr.protect(head_);
+    if (!g.valid()) goto restart;
     curr = tmp.ptr();  // tail sentinel at minimum; never null
-    next = h.protect(curr->next, kHpNext);
-    if (!h.op_valid()) goto restart;
+    next = hp.next.protect(curr->next);
+    if (!g.valid()) goto restart;
 
     for (;;) {
       switch (control.poll()) {
@@ -318,14 +336,15 @@ class HarrisList {
           in_zone = true;
           if constexpr (Traits::kUnrolled) {
             // Figure 5 right, L48-49: protect the first unsafe node.
-            h.dup(kHpCurr, kHpUnsafe);
+            hp.unsafe.dup_from(hp.curr);
             prev_next = MP(curr);
           } else {
-            // Figure 5 left: Hp3/prev_next normally already track curr via
-            // the last safe advance; the one exception is a chain starting
-            // at the very first node (prev == &head_, nothing advanced yet).
+            // Figure 5 left: hp.unsafe/prev_next normally already track
+            // curr via the last safe advance; the one exception is a chain
+            // starting at the very first node (prev == &head_, nothing
+            // advanced yet).
             if (!prev_next) {
-              h.dup(kHpCurr, kHpUnsafe);
+              hp.unsafe.dup_from(hp.curr);
               prev_next = MP(curr);
             }
           }
@@ -333,9 +352,9 @@ class HarrisList {
         }
         curr = next.ptr();
         assert(curr != nullptr);  // the tail sentinel is never marked
-        h.dup(kHpNext, kHpCurr);
-        next = h.protect(curr->next, kHpNext);
-        if (!h.op_valid()) goto restart;
+        hp.curr.dup_from(hp.next);
+        next = hp.next.protect(curr->next);
+        if (!g.valid()) goto restart;
         // SCOT validation (Figure 5, L55): the last safe node must still
         // point at the first unsafe node, otherwise the chain may have been
         // unlinked and (partially) reclaimed.
@@ -347,13 +366,13 @@ class HarrisList {
             MP w = prev->load(std::memory_order_seq_cst);
             if (!w.marked()) {
               ++h.ds_recoveries;
-              tmp = h.protect(*prev, kHpCurr);
-              if (!h.op_valid()) goto restart;
+              tmp = hp.curr.protect(*prev);
+              if (!g.valid()) goto restart;
               if (tmp.marked()) goto restart;  // prev got marked meanwhile
               curr = tmp.ptr();
               assert(curr != nullptr);
-              next = h.protect(curr->next, kHpNext);
-              if (!h.op_valid()) goto restart;
+              next = hp.next.protect(curr->next);
+              if (!g.valid()) goto restart;
               prev_next = MP{};
               in_zone = false;
               continue;
@@ -367,21 +386,21 @@ class HarrisList {
       // --- safe zone (curr is live) --------------------------------------
       if (!node_less_than_key(curr, key, cmp_)) break;
       prev = &curr->next;
-      h.dup(kHpCurr, kHpPrev);
+      hp.prev.dup_from(hp.curr);
       if constexpr (Traits::kUnrolled) {
         prev_next = MP{};
       } else {
-        // Simple variant: continuously mirror next into Hp3 so that zone
-        // entry needs no extra work (Figure 5 left, L11-14).
-        h.dup(kHpNext, kHpUnsafe);
+        // Simple variant: continuously mirror next into hp.unsafe so that
+        // zone entry needs no extra work (Figure 5 left, L11-14).
+        hp.unsafe.dup_from(hp.next);
         prev_next = next;
       }
       in_zone = false;
       curr = next.ptr();
       assert(curr != nullptr);  // tail sentinel terminates every traversal
-      h.dup(kHpNext, kHpCurr);
-      next = h.protect(curr->next, kHpNext);
-      if (!h.op_valid()) goto restart;
+      hp.curr.dup_from(hp.next);
+      next = hp.next.protect(curr->next);
+      if (!g.valid()) goto restart;
     }
 
     // Settled: curr is the first live node with key >= target.
@@ -416,21 +435,21 @@ class HarrisList {
 
   // Called by Insert/Delete once per retry loop: serve at most one pending
   // help request (Figure 7, Help_Threads).
-  void help_others(Handle& h) {
+  void help_others(Guard& g, Hp& hp) {
     Key key;
     std::uint64_t tag;
     unsigned tid;
-    if (wf_->poll_for_work(h.tid(), &key, &tag, &tid)) {
-      slow_search(h, key, tag, tid);
+    if (wf_->poll_for_work(g.handle().tid(), &key, &tag, &tid)) {
+      slow_search(g, hp, key, tag, tid);
     }
   }
 
   // Figure 7, Slow_Search: the traversal itself is the SCOT Do_Find; every
   // iteration polls the helpee's record for an externally published result.
-  bool slow_search(Handle& h, const Key& key, std::uint64_t tag,
+  bool slow_search(Guard& g, Hp& hp, const Key& key, std::uint64_t tag,
                    unsigned help_tid) {
     Position pos;
-    FindOutcome out = do_find(h, key, /*search_only=*/true, pos,
+    FindOutcome out = do_find(g, hp, key, /*search_only=*/true, pos,
                               HelpControl{wf_.get(), help_tid, tag});
     switch (out) {
       case FindOutcome::kExternalTrue:

@@ -8,8 +8,8 @@
 // list pays extra CAS traffic and restarts under contention (Table 2 of the
 // paper reports restart rates up to 8.19% at 256 threads).
 //
-// Hazard-slot roles (ascending-dup discipline):
-//   Hp0 = next, Hp1 = curr, Hp2 = prev.
+// Protection roles (API v2 guard slots, ascending-dup discipline):
+//   hp.next = next, hp.curr = curr, hp.prev = prev.
 #pragma once
 
 #include <cassert>
@@ -24,7 +24,7 @@
 
 namespace scot {
 
-template <class Key, class Value, SmrDomain Smr,
+template <class Key, class Value, SmrDomainV2 Smr,
           class Compare = std::less<Key>>
 class HarrisMichaelList {
  public:
@@ -34,11 +34,19 @@ class HarrisMichaelList {
   // head is one too: traversal code points at head and node links alike).
   using Link = StableAtomic<MP>;
   using Handle = typename Smr::Handle;
+  using Guard = TraversalGuard<Handle>;
+  using NodeSlot = ProtectionSlot<Handle, Node>;
 
-  static constexpr unsigned kHpNext = 0;
-  static constexpr unsigned kHpCurr = 1;
-  static constexpr unsigned kHpPrev = 2;
   static constexpr unsigned kSlotsRequired = 3;
+
+  // Slot roles in index (= ascending-dup) order.
+  struct Hp {
+    NodeSlot next, curr, prev;
+    explicit Hp(Guard& g)
+        : next(g.template slot<Node>()),
+          curr(g.template slot<Node>()),
+          prev(g.template slot<Node>()) {}
+  };
 
   explicit HarrisMichaelList(Smr& smr, Compare cmp = {})
       : smr_(smr), cmp_(cmp) {
@@ -64,10 +72,11 @@ class HarrisMichaelList {
 
   // Inserts `key`; returns false if already present.
   bool insert(Handle& h, const Key& key, const Value& value = {}) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     Node* n = h.template alloc<Node>(key, value, 0);
     for (;;) {
-      Position pos = find(h, key);
+      Position pos = find(guard, hp, key);
       if (pos.found) {
         h.dealloc_unpublished(n);
         return false;
@@ -84,9 +93,10 @@ class HarrisMichaelList {
 
   // Removes `key`; returns false if absent.
   bool erase(Handle& h, const Key& key) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     for (;;) {
-      Position pos = find(h, key);
+      Position pos = find(guard, hp, key);
       if (!pos.found) return false;
       MP next = pos.next;  // unmarked: find() only returns live nodes
       assert(!next.marked());
@@ -103,20 +113,22 @@ class HarrisMichaelList {
                                             std::memory_order_relaxed)) {
         h.retire(pos.curr);
       } else {
-        find(h, key);  // help unlink (Michael's cleanup pass)
+        find(guard, hp, key);  // help unlink (Michael's cleanup pass)
       }
       return true;
     }
   }
 
   bool contains(Handle& h, const Key& key) {
-    OpGuard<Handle> guard(h);
-    return find(h, key).found;
+    Guard guard(h);
+    Hp hp(guard);
+    return find(guard, hp, key).found;
   }
 
   std::optional<Value> get(Handle& h, const Key& key) {
-    OpGuard<Handle> guard(h);
-    Position pos = find(h, key);
+    Guard guard(h);
+    Hp hp(guard);
+    Position pos = find(guard, hp, key);
     if (!pos.found) return std::nullopt;
     return pos.curr->value;  // curr is hazard-protected
   }
@@ -143,19 +155,20 @@ class HarrisMichaelList {
   };
 
   // Michael's Find: eagerly unlinks every logically deleted node it meets.
-  Position find(Handle& h, const Key& key) {
+  Position find(Guard& g, Hp& hp, const Key& key) {
+    Handle& h = g.handle();
     for (;;) {
       Link* prev = &head_;
-      MP curr_m = h.protect(head_, kHpCurr);
-      if (!h.op_valid()) {
-        restart(h);
+      MP curr_m = hp.curr.protect(head_);
+      if (!g.valid()) {
+        restart(g);
         continue;
       }
       Node* curr = curr_m.ptr();
       bool retry = false;
       while (curr != nullptr) {
-        MP next = h.protect(curr->next, kHpNext);
-        if (!h.op_valid()) {
+        MP next = hp.next.protect(curr->next);
+        if (!g.valid()) {
           retry = true;
           break;
         }
@@ -176,29 +189,29 @@ class HarrisMichaelList {
           }
           h.retire(curr);
           curr = next.ptr();
-          h.dup(kHpNext, kHpCurr);
+          hp.curr.dup_from(hp.next);
           continue;
         }
         if (!node_less_than_key(curr, key, cmp_)) {
           return {prev, curr, next, node_equals_key(curr, key, cmp_)};
         }
         prev = &curr->next;
-        h.dup(kHpCurr, kHpPrev);
+        hp.prev.dup_from(hp.curr);
         curr = next.ptr();
-        h.dup(kHpNext, kHpCurr);
+        hp.curr.dup_from(hp.next);
       }
       if (!retry) {
         // Fell off the list: with the tail sentinel this is unreachable,
         // but kept for structural robustness.
         return {prev, nullptr, MP{}, false};
       }
-      restart(h);
+      restart(g);
     }
   }
 
-  void restart(Handle& h) {
-    ++h.ds_restarts;
-    h.revalidate_op();
+  void restart(Guard& g) {
+    ++g.handle().ds_restarts;
+    g.revalidate();
   }
 
   alignas(kCacheLine) Link head_{MP{}};

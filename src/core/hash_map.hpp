@@ -19,7 +19,7 @@
 
 namespace scot {
 
-template <class Key, class Value, SmrDomain Smr,
+template <class Key, class Value, SmrDomainV2 Smr,
           class Traits = HarrisListTraits, class Hash = std::hash<Key>,
           class Compare = std::less<Key>>
 class HashMap {

@@ -9,11 +9,13 @@
 // Harris' list, traversals walk optimistically across tagged edges, which
 // is fundamentally unsafe under HP/HE/IBR/Hyaline-1S.
 //
-// SCOT protection roles (paper §3.3):
-//   Hp0 = current child being followed     Hp3 = successor (zone entrance)
-//   Hp1 = current leaf candidate           Hp4 = ancestor
-//   Hp2 = parent of the leaf               Hp5 = delete()'s flagged target
-// All dup() calls copy toward higher indices (ascending-dup discipline).
+// SCOT protection roles (paper §3.3; API v2 guard slots in index order):
+//   hp.child  = current child being followed   hp.succ = successor (zone
+//   hp.leaf   = current leaf candidate                    entrance)
+//   hp.parent = parent of the leaf             hp.anc  = ancestor
+//   hp.target = delete()'s flagged target
+// All dup_from() calls copy toward higher indices (ascending-dup
+// discipline, asserted by ProtectionSlot).
 //
 // The dangerous zone is the run of tagged edges between the successor and
 // the parent.  At every step taken through an edge that carries any bit
@@ -45,7 +47,7 @@
 
 namespace scot {
 
-template <class Key, class Value, SmrDomain Smr,
+template <class Key, class Value, SmrDomainV2 Smr,
           class Compare = std::less<Key>>
 class NatarajanMittalTree {
  public:
@@ -70,14 +72,22 @@ class NatarajanMittalTree {
   using MP = marked_ptr<Node>;
   using Link = StableAtomic<MP>;
   using Handle = typename Smr::Handle;
+  using Guard = TraversalGuard<Handle>;
+  using NodeSlot = ProtectionSlot<Handle, Node>;
 
-  static constexpr unsigned kHpChild = 0;
-  static constexpr unsigned kHpLeaf = 1;
-  static constexpr unsigned kHpParent = 2;
-  static constexpr unsigned kHpSucc = 3;
-  static constexpr unsigned kHpAnc = 4;
-  static constexpr unsigned kHpTarget = 5;
   static constexpr unsigned kSlotsRequired = 6;
+
+  // Slot roles in index (= ascending-dup) order.
+  struct Hp {
+    NodeSlot child, leaf, parent, succ, anc, target;
+    explicit Hp(Guard& g)
+        : child(g.template slot<Node>()),
+          leaf(g.template slot<Node>()),
+          parent(g.template slot<Node>()),
+          succ(g.template slot<Node>()),
+          anc(g.template slot<Node>()),
+          target(g.template slot<Node>()) {}
+  };
 
   explicit NatarajanMittalTree(Smr& smr, Compare cmp = {})
       : smr_(smr), cmp_(cmp) {
@@ -113,12 +123,13 @@ class NatarajanMittalTree {
   NatarajanMittalTree& operator=(const NatarajanMittalTree&) = delete;
 
   bool insert(Handle& h, const Key& key, const Value& value = {}) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     Node* new_leaf = nullptr;
     Node* new_internal = nullptr;
     for (;;) {
       SeekRecord s;
-      seek(h, key, s);
+      seek(guard, hp, key, s);
       const bool match = leaf_matches(s.leaf, key);
       if (match && !s.leaf_edge.flagged()) {
         if (new_leaf != nullptr) {
@@ -167,12 +178,13 @@ class NatarajanMittalTree {
   }
 
   bool erase(Handle& h, const Key& key) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     bool injected = false;
     Node* target = nullptr;
     for (;;) {
       SeekRecord s;
-      seek(h, key, s);
+      seek(guard, hp, key, s);
       if (!injected) {
         // --- injection phase ---
         if (!leaf_matches(s.leaf, key)) return false;
@@ -199,7 +211,7 @@ class NatarajanMittalTree {
         // can never be fooled by recycling.
         injected = true;
         target = s.leaf;
-        h.dup(kHpLeaf, kHpTarget);
+        hp.target.dup_from(hp.leaf);
         if (cleanup(h, key, s)) return true;
       } else {
         // --- cleanup phase ---
@@ -210,19 +222,21 @@ class NatarajanMittalTree {
   }
 
   bool contains(Handle& h, const Key& key) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     SeekRecord s;
-    seek(h, key, s);
+    seek(guard, hp, key, s);
     return leaf_matches(s.leaf, key) && !s.leaf_edge.flagged();
   }
 
   std::optional<Value> get(Handle& h, const Key& key) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     SeekRecord s;
-    seek(h, key, s);
+    seek(guard, hp, key, s);
     if (!leaf_matches(s.leaf, key) || s.leaf_edge.flagged())
       return std::nullopt;
-    return s.leaf->value;  // protected by Hp1
+    return s.leaf->value;  // protected by hp.leaf
   }
 
   // --- single-threaded observers (tests / teardown) ----------------------
@@ -271,48 +285,48 @@ class NatarajanMittalTree {
   }
 
   // SCOT-protected seek (paper §3.3).
-  void seek(Handle& h, const Key& key, SeekRecord& s) {
-    while (!try_seek(h, key, s)) ++h.ds_restarts;
+  void seek(Guard& g, Hp& hp, const Key& key, SeekRecord& s) {
+    while (!try_seek(g, hp, key, s)) ++g.handle().ds_restarts;
   }
 
-  bool try_seek(Handle& h, const Key& key, SeekRecord& s) {
-    h.revalidate_op();
+  bool try_seek(Guard& g, Hp& hp, const Key& key, SeekRecord& s) {
+    g.revalidate();
     // Anchors are immortal (see the sentinel discussion above), so plain
     // publication suffices.
-    h.publish(r_, kHpAnc);
-    h.publish(s_, kHpSucc);
-    h.publish(s_, kHpParent);
+    hp.anc.publish(r_);
+    hp.succ.publish(s_);
+    hp.parent.publish(s_);
     s.ancestor = r_;
     s.successor = s_;
     s.parent = s_;
     s.succ_field = &r_->left;
     s.succ_expect = MP(s_);
     s.leaf_field = &s_->left;
-    s.leaf_edge = h.protect(s_->left, kHpLeaf);
-    if (!h.op_valid()) return false;
+    s.leaf_edge = hp.leaf.protect(s_->left);
+    if (!g.valid()) return false;
     s.leaf = s.leaf_edge.ptr();  // sentinel leaf1 at minimum
     for (;;) {
       // Route one level down.  Dereferencing s.leaf here is safe: it was
       // protected by the previous protect() and, when its incoming edge
       // carried deletion bits, re-validated below before this iteration.
       Link* cf = child_field(s.leaf, key);
-      MP child_edge = h.protect(*cf, kHpChild);
-      if (!h.op_valid()) return false;
+      MP child_edge = hp.child.protect(*cf);
+      if (!g.valid()) return false;
       Node* child = child_edge.ptr();
       if (child == nullptr) break;  // s.leaf is an actual leaf
       // Advance the seek record (original seek, with SCOT dups).
       if (!s.leaf_edge.tagged()) {
         // Untagged edge into s.leaf: it becomes the new successor and its
         // parent the new ancestor (entrance of any following zone).
-        h.dup(kHpParent, kHpAnc);
-        h.dup(kHpLeaf, kHpSucc);
+        hp.anc.dup_from(hp.parent);
+        hp.succ.dup_from(hp.leaf);
         s.ancestor = s.parent;
         s.successor = s.leaf;
         s.succ_field = s.leaf_field;
         s.succ_expect = s.leaf_edge.clean();
       }
-      h.dup(kHpLeaf, kHpParent);
-      h.dup(kHpChild, kHpLeaf);
+      hp.parent.dup_from(hp.leaf);
+      hp.leaf.dup_from(hp.child);
       s.parent = s.leaf;
       s.leaf = child;
       s.leaf_field = cf;

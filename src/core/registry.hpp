@@ -1,0 +1,137 @@
+// Runtime structure registry: the closed set of data structures as values,
+// plus the SchemeId × StructureId → factory table behind `scot::AnyMap`.
+//
+// Like src/smr/registry.hpp this is the single source of truth for structure
+// identity: the bench options, the JSON reports and the paper CLI mode
+// spellings all resolve through the tables here.  The factory table is a
+// genuine *runtime* registry — src/core/any_map.cpp populates the full
+// scheme × structure cross product at static-initialisation time, and
+// out-of-tree code can register additional cells through
+// `AnyMapRegistry::instance().add(...)` (DESIGN.md §6 has the recipe).
+//
+// This header is deliberately light: it forward-declares the type-erased
+// implementation interface instead of including the structure headers, so
+// name resolution never pays for template instantiation.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "smr/registry.hpp"
+
+namespace scot {
+
+enum class StructureId {
+  kHMList,
+  kHList,
+  kHListWF,
+  kNMTree,
+  kHashMap,
+  kSkipList,       // Fraser-style optimistic traversal with SCOT
+  kSkipListEager,  // Herlihy-Shavit-style eager unlink (baseline)
+  kNone,           // SMR-layer microbench cells (no data structure)
+};
+
+inline constexpr StructureId kAllStructures[] = {
+    StructureId::kHMList,  StructureId::kHList,    StructureId::kHListWF,
+    StructureId::kNMTree,  StructureId::kHashMap,  StructureId::kSkipList,
+    StructureId::kSkipListEager};
+
+inline const char* structure_name(StructureId s) noexcept {
+  switch (s) {
+    case StructureId::kHMList: return "HMList";
+    case StructureId::kHList: return "HList";
+    case StructureId::kHListWF: return "HListWF";
+    case StructureId::kNMTree: return "NMTree";
+    case StructureId::kHashMap: return "HashMap";
+    case StructureId::kSkipList: return "SkipList";
+    case StructureId::kSkipListEager: return "SkipListHS";
+    case StructureId::kNone: return "none";
+  }
+  return "?";
+}
+
+// Reverse of structure_name(); used when loading JSON reports.  "none" is
+// resolvable (micro-SMR cells carry it) but deliberately absent from
+// kAllStructures, so no grid ever iterates it.
+inline std::optional<StructureId> structure_from_name(std::string_view name) {
+  if (name == structure_name(StructureId::kNone)) return StructureId::kNone;
+  for (StructureId s : kAllStructures) {
+    if (name == structure_name(s)) return s;
+  }
+  return std::nullopt;
+}
+
+// Paper-artifact CLI mode spellings (Appendix A.5).
+inline std::optional<StructureId> structure_from_mode(std::string_view mode) {
+  if (mode == "listlf") return StructureId::kHList;
+  if (mode == "listwf") return StructureId::kHListWF;
+  if (mode == "listhm") return StructureId::kHMList;
+  if (mode == "tree") return StructureId::kNMTree;
+  if (mode == "hash") return StructureId::kHashMap;
+  if (mode == "skip") return StructureId::kSkipList;
+  if (mode == "skiphs") return StructureId::kSkipListEager;
+  return std::nullopt;
+}
+
+// --- AnyMap factory registry ----------------------------------------------
+
+struct AnyMapOptions;  // core/any_map.hpp
+namespace detail {
+class AnyMapImpl;  // core/any_map.hpp
+}
+
+// Maps (scheme, structure) to a factory producing the type-erased map
+// implementation.  Populated by src/core/any_map.cpp; queried by
+// AnyMap::make().  Registration normally happens during static init, but the
+// table is mutex-guarded so late (test / out-of-tree) registration is safe.
+class AnyMapRegistry {
+ public:
+  using Factory = std::unique_ptr<detail::AnyMapImpl> (*)(const AnyMapOptions&);
+
+  struct Entry {
+    SchemeId scheme;
+    StructureId structure;
+    Factory factory;
+  };
+
+  static AnyMapRegistry& instance() {
+    static AnyMapRegistry registry;
+    return registry;
+  }
+
+  // Last registration for a cell wins, so tests can shadow a factory.
+  void add(SchemeId scheme, StructureId structure, Factory factory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Entry& e : entries_) {
+      if (e.scheme == scheme && e.structure == structure) {
+        e.factory = factory;
+        return;
+      }
+    }
+    entries_.push_back(Entry{scheme, structure, factory});
+  }
+
+  Factory find(SchemeId scheme, StructureId structure) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_) {
+      if (e.scheme == scheme && e.structure == structure) return e.factory;
+    }
+    return nullptr;
+  }
+
+  std::vector<Entry> entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_;
+  }
+
+ private:
+  AnyMapRegistry() = default;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace scot

@@ -23,8 +23,10 @@
 // (absence from the adjacent chain at each level implies absence from the
 // level, because all intermediate nodes with smaller keys are marked).
 //
-// Hazard-slot roles per level (ascending-dup discipline, as in the list):
-//   Hp0 = next, Hp1 = curr, Hp2 = last safe (prev), Hp3 = first unsafe.
+// Protection roles per level (API v2 guard slots, ascending-dup
+// discipline as in the list): hp.next, hp.curr, hp.prev (last safe),
+// hp.unsafe (first unsafe), plus hp.own — held by insert() on its *own*
+// node across the upper-level linking phase.
 #pragma once
 
 #include <cassert>
@@ -33,6 +35,7 @@
 #include <optional>
 
 #include "common/align.hpp"
+#include "common/asymfence.hpp"
 #include "common/stable_atomic.hpp"
 #include "common/xorshift.hpp"
 #include "core/marked_ptr.hpp"
@@ -49,7 +52,7 @@ struct SkipListEagerTraits : SkipListTraits {
   static constexpr bool kEagerUnlink = true;  // Herlihy-Shavit discipline
 };
 
-template <class Key, class Value, SmrDomain Smr,
+template <class Key, class Value, SmrDomainV2 Smr,
           class Traits = SkipListTraits, class Compare = std::less<Key>>
 class SkipList {
  public:
@@ -75,24 +78,34 @@ class SkipList {
   using MP = marked_ptr<Node>;
   using Link = StableAtomic<MP>;
   using Handle = typename Smr::Handle;
+  using Guard = TraversalGuard<Handle>;
+  using NodeSlot = ProtectionSlot<Handle, Node>;
 
-  static constexpr unsigned kHpNext = 0;
-  static constexpr unsigned kHpCurr = 1;
-  static constexpr unsigned kHpPrev = 2;
-  static constexpr unsigned kHpUnsafe = 3;
-  // Held by insert() on its *own* node across the upper-level linking phase:
-  // a racing deletion may retire the node while a level splice is still in
-  // flight, and the splice (or the untangling that follows it) dereferences
-  // the node.
-  static constexpr unsigned kHpOwn = 4;
   static constexpr unsigned kSlotsRequired = 5;
+
+  // Slot roles in index (= ascending-dup) order.  `own` is published by
+  // insert() on its own node across the upper-level linking phase: a racing
+  // deletion may retire the node while a level splice is still in flight,
+  // and the splice (or the untangling that follows it) dereferences it.
+  struct Hp {
+    NodeSlot next, curr, prev, unsafe, own;
+    explicit Hp(Guard& g)
+        : next(g.template slot<Node>()),
+          curr(g.template slot<Node>()),
+          prev(g.template slot<Node>()),
+          unsafe(g.template slot<Node>()),
+          own(g.template slot<Node>()) {}
+  };
 
   explicit SkipList(Smr& smr, Compare cmp = {}) : smr_(smr), cmp_(cmp) {
     Node* tail = smr_.handle(0).template alloc<Node>(
         Key{}, Value{}, std::uint8_t{1}, static_cast<std::uint8_t>(kMaxHeight));
     for (unsigned l = 0; l < kMaxHeight; ++l)
       head_[l].store(MP(tail), std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_release);
+    // Publication fence for the relaxed head stores above; routed through
+    // the TSan-aware helper because TSan does not instrument raw
+    // atomic_thread_fence (and GCC warns about it under -fsanitize=thread).
+    asymfence::release_fence();
   }
 
   ~SkipList() {
@@ -109,13 +122,15 @@ class SkipList {
   SkipList& operator=(const SkipList&) = delete;
 
   bool insert(Handle& h, const Key& key, const Value& value = {}) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     const std::uint8_t height = random_height();
     Node* node = nullptr;
     // --- link level 0 (the insertion's linearization point) ---
     for (;;) {
       Position pos;
-      if (!find(h, key, /*update=*/true, /*stop_level=*/0, nullptr, &pos))
+      if (!find(guard, hp, key, /*update=*/true, /*stop_level=*/0, nullptr,
+                &pos))
         continue;
       if (pos.found) {
         if (node != nullptr) h.dealloc_unpublished(node);
@@ -123,11 +138,11 @@ class SkipList {
       }
       if (node == nullptr) {
         node = h.template alloc<Node>(key, value, std::uint8_t{0}, height);
-        protect_own(h, node);
-        if (!h.op_valid()) {
+        protect_own(hp, node);
+        if (!guard.valid()) {
           // Hyaline refreshed its reservation to cover the fresh node; the
           // traversal state is stale, but nothing was published yet.
-          h.revalidate_op();
+          guard.revalidate();
           continue;
         }
       }
@@ -140,7 +155,7 @@ class SkipList {
       }
     }
     // --- link levels 1..height-1 ---
-    // The kHpOwn protection published above stays in place for this whole
+    // The hp.own protection published above stays in place for this whole
     // phase: a concurrent erase() may mark, prune, *and retire* the node at
     // any moment, and we still dereference it below.
     for (unsigned l = 1; l < height; ++l) {
@@ -148,7 +163,7 @@ class SkipList {
         MP cur = node->next[l].load(std::memory_order_acquire);
         if (cur.marked()) return true;  // deleted before this level was set
         Position pos;
-        if (!find(h, key, /*update=*/true, l, nullptr, &pos)) continue;
+        if (!find(guard, hp, key, /*update=*/true, l, nullptr, &pos)) continue;
         if (pos.curr == node) break;  // already linked at this level
         // Point the node's level-l link at the successor, then splice.
         if (!node->next[l].compare_exchange_strong(
@@ -166,7 +181,7 @@ class SkipList {
           // node from every level before dropping our protection, so the
           // list can never hold a link to reclaimable memory.
           if (node->next[l].load(std::memory_order_seq_cst).marked()) {
-            untangle(h, key, node);
+            untangle(guard, hp, key, node);
             return true;
           }
           break;
@@ -177,12 +192,13 @@ class SkipList {
   }
 
   bool erase(Handle& h, const Key& key) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     for (;;) {
       Position pos;
-      if (!find(h, key, /*update=*/true, 0, nullptr, &pos)) continue;
+      if (!find(guard, hp, key, /*update=*/true, 0, nullptr, &pos)) continue;
       if (!pos.found) return false;
-      Node* node = pos.curr;  // protected by Hp1 until we own or give up
+      Node* node = pos.curr;  // protected by hp.curr until we own or give up
       // Mark from the top level down; level 0 decides the winner.
       for (unsigned l = node->height; l-- > 1;) {
         MP m = node->next[l].load(std::memory_order_acquire);
@@ -203,33 +219,35 @@ class SkipList {
           // We own the deletion: unlink from every level, then retire.
           // (Only the owner ever retires a node, so cross-level pruning by
           // other traversals cannot double-free.)
-          untangle(h, key, node);
+          untangle(guard, hp, key, node);
           h.retire(node);
           return true;
         }
       }
       // Lost the level-0 race: help clean up, report absent.
       Position unused;
-      (void)find(h, key, /*update=*/true, 0, nullptr, &unused);
+      (void)find(guard, hp, key, /*update=*/true, 0, nullptr, &unused);
       return false;
     }
   }
 
   bool contains(Handle& h, const Key& key) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     Position pos;
-    while (!find(h, key, /*update=*/false, 0, nullptr, &pos)) {
+    while (!find(guard, hp, key, /*update=*/false, 0, nullptr, &pos)) {
     }
     return pos.found;
   }
 
   std::optional<Value> get(Handle& h, const Key& key) {
-    OpGuard<Handle> guard(h);
+    Guard guard(h);
+    Hp hp(guard);
     Position pos;
-    while (!find(h, key, /*update=*/false, 0, nullptr, &pos)) {
+    while (!find(guard, hp, key, /*update=*/false, 0, nullptr, &pos)) {
     }
     if (!pos.found) return std::nullopt;
-    return pos.curr->value;  // protected by Hp1
+    return pos.curr->value;  // protected by hp.curr
   }
 
   // Single-threaded observers for tests.
@@ -283,9 +301,9 @@ class SkipList {
   // when the traversal must restart (the caller loops); on success fills
   // `out` with the settle position at `stop_level`.  `watch` reports
   // whether a specific node was still physically linked on the path.
-  bool find(Handle& h, const Key& key, bool update, unsigned stop_level,
-            const Node* watch, Position* out) {
-    h.revalidate_op();
+  bool find(Guard& g, Hp& hp, const Key& key, bool update,
+            unsigned stop_level, const Node* watch, Position* out) {
+    g.revalidate();
     bool saw_watch = false;
     unsigned level = kMaxHeight - 1;
     Node* prev_node = nullptr;  // nullptr = head tower (immortal)
@@ -293,13 +311,13 @@ class SkipList {
     MP prev_next{};
     bool in_zone = false;
 
-    MP cm = h.protect(*prev_field, kHpCurr);
-    if (!h.op_valid() || cm.marked()) return fail(h);
+    MP cm = hp.curr.protect(*prev_field);
+    if (!g.valid() || cm.marked()) return fail(g);
     Node* curr = cm.ptr();
 
     for (;;) {
-      MP next = h.protect(curr->next[level], kHpNext);
-      if (!h.op_valid()) return fail(h);
+      MP next = hp.next.protect(curr->next[level]);
+      if (!g.valid()) return fail(g);
       if (curr == watch) saw_watch = true;
 
       if (next.marked()) {
@@ -310,23 +328,23 @@ class SkipList {
           if (!prev_field->compare_exchange_strong(
                   expected, next.clean(), std::memory_order_seq_cst,
                   std::memory_order_relaxed)) {
-            return fail(h);
+            return fail(g);
           }
           curr = next.ptr();
-          h.dup(kHpNext, kHpCurr);
+          hp.curr.dup_from(hp.next);
           continue;
         } else {
           // SCOT dangerous zone for this level.
           if (!in_zone) {
             in_zone = true;
-            h.dup(kHpCurr, kHpUnsafe);
+            hp.unsafe.dup_from(hp.curr);
             prev_next = MP(curr);
           }
           curr = next.ptr();
           assert(curr != nullptr);  // the tail tower is never marked
-          h.dup(kHpNext, kHpCurr);
+          hp.curr.dup_from(hp.next);
           if (prev_field->load(std::memory_order_seq_cst) != prev_next)
-            return fail(h);
+            return fail(g);
           continue;
         }
       }
@@ -334,12 +352,12 @@ class SkipList {
       if (key_less(curr, key)) {
         prev_field = &curr->next[level];
         prev_node = curr;
-        h.dup(kHpCurr, kHpPrev);
+        hp.prev.dup_from(hp.curr);
         in_zone = false;
         prev_next = MP{};
         curr = next.ptr();
         assert(curr != nullptr);
-        h.dup(kHpNext, kHpCurr);
+        hp.curr.dup_from(hp.next);
         continue;
       }
 
@@ -350,7 +368,7 @@ class SkipList {
           if (!prev_field->compare_exchange_strong(
                   expected, MP(curr), std::memory_order_seq_cst,
                   std::memory_order_relaxed)) {
-            return fail(h);
+            return fail(g);
           }
           // Deliberately no retire: nodes span levels; owners retire.
         }
@@ -368,15 +386,15 @@ class SkipList {
       prev_field = prev_node ? &prev_node->next[level] : &head_[level];
       in_zone = false;
       prev_next = MP{};
-      cm = h.protect(*prev_field, kHpCurr);
-      if (!h.op_valid()) return fail(h);
-      if (cm.marked()) return fail(h);  // prev got deleted mid-descent
+      cm = hp.curr.protect(*prev_field);
+      if (!g.valid()) return fail(g);
+      if (cm.marked()) return fail(g);  // prev got deleted mid-descent
       curr = cm.ptr();
     }
   }
 
-  bool fail(Handle& h) {
-    ++h.ds_restarts;
+  bool fail(Guard& g) {
+    ++g.handle().ds_restarts;
     return false;
   }
 
@@ -385,17 +403,17 @@ class SkipList {
   // Hyaline-1S refreshes its reservation if the node is younger than it
   // (raising the restart flag the caller must honour before reusing any
   // previously read pointers).
-  void protect_own(Handle& h, Node* node) {
+  void protect_own(Hp& hp, Node* node) {
     std::atomic<MP> own{MP(node)};
-    (void)h.protect(own, kHpOwn);
+    (void)hp.own.protect(own);
   }
 
   // Traverses (pruning) until `node` is no longer physically linked at any
   // level.  Callers must hold a protection on `node` or own its retirement.
-  void untangle(Handle& h, const Key& key, const Node* node) {
+  void untangle(Guard& g, Hp& hp, const Key& key, const Node* node) {
     for (;;) {
       Position pos;
-      if (!find(h, key, /*update=*/true, 0, node, &pos)) continue;
+      if (!find(g, hp, key, /*update=*/true, 0, node, &pos)) continue;
       if (!pos.saw_watch) return;
     }
   }

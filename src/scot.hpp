@@ -1,0 +1,36 @@
+// SCOT — single public entry point (API v2).
+//
+// One include gives the whole library surface:
+//
+//   * the reclamation schemes and the SmrDomainV2 contract (smr/smr.hpp),
+//   * the typed guard-centric protection API — TraversalGuard,
+//     ProtectionSlot, Protected<T> (smr/guard.hpp),
+//   * the SCOT data structures (core/core.hpp),
+//   * scheme/structure identity as runtime values (smr/registry.hpp,
+//     core/registry.hpp),
+//   * the type-erased scot::AnyMap facade with runtime scheme and
+//     structure selection (core/any_map.hpp; link the `scot_any` library).
+//
+// Typed quick start:
+//
+//   scot::SmrConfig cfg;   cfg.max_threads = 4;
+//   scot::HpDomain smr(cfg);
+//   scot::HarrisList<uint64_t, uint64_t, scot::HpDomain> list(smr);
+//   list.insert(smr.handle(0), 7, 700);
+//
+// Runtime-selected quick start:
+//
+//   auto map = scot::AnyMap::make(scot::SchemeId::kHLN,
+//                                 scot::StructureId::kSkipList);
+//   map->insert(/*tid=*/0, 7, 700);
+//
+// See DESIGN.md §6 for guard lifetimes, Protected<T> invariants, and the
+// registry extension recipe.
+#pragma once
+
+#include "core/any_map.hpp"
+#include "core/core.hpp"
+#include "core/registry.hpp"
+#include "smr/guard.hpp"
+#include "smr/registry.hpp"
+#include "smr/smr.hpp"

@@ -34,6 +34,7 @@ class EbrDomain {
   class Handle : public HandleCore<EbrDomain, Handle> {
    public:
     using Base = HandleCore<EbrDomain, Handle>;
+    using Base::retire;  // typed retire(Protected<T>) — API v2
     Handle(EbrDomain* dom, unsigned tid) : Base(dom, tid) {}
 
     void begin_op() noexcept {

@@ -11,6 +11,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "smr/guard.hpp"
 #include "smr/node_pool.hpp"
 #include "smr/reclaim_node.hpp"
 
@@ -76,6 +77,17 @@ class HandleCore {
   void dealloc_unpublished(T* n) {
     assert(n->debug_state == kNodeLive);
     dom_->pool().free(tid_, n, n->alloc_size);
+  }
+
+  // API v2 typed retirement: accepts the protected view a traversal already
+  // holds.  The derived scheme's retire(ReclaimNode*) stays the
+  // implementation; derived classes re-expose this overload with
+  // `using Base::retire;`.
+  template <class T>
+  void retire(Protected<T> p) {
+    static_assert(std::is_base_of_v<ReclaimNode, T>);
+    assert(p.get() != nullptr && "cannot retire an empty Protected");
+    derived()->retire(static_cast<ReclaimNode*>(p.get()));
   }
 
   // --- data-structure statistics (Table 2 of the paper) -------------------

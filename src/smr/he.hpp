@@ -34,6 +34,7 @@ class HeDomain {
   class Handle : public HandleCore<HeDomain, Handle> {
    public:
     using Base = HandleCore<HeDomain, Handle>;
+    using Base::retire;  // typed retire(Protected<T>) — API v2
     Handle(HeDomain* dom, unsigned tid) : Base(dom, tid) {
       snapshot_.reserve(static_cast<std::size_t>(dom->cfg_.max_threads) *
                         dom->cfg_.slots_per_thread);

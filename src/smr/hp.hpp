@@ -57,6 +57,7 @@ class HazardPointerDomain {
     using Base::tid_;
 
    public:
+    using Base::retire;  // typed retire(Protected<T>) — API v2
 
     void begin_op() noexcept {}
 

@@ -52,6 +52,7 @@ class HyalineDomain {
   class Handle : public HandleCore<HyalineDomain, Handle> {
    public:
     using Base = HandleCore<HyalineDomain, Handle>;
+    using Base::retire;  // typed retire(Protected<T>) — API v2
     Handle(HyalineDomain* dom, unsigned tid) : Base(dom, tid) {}
 
     void begin_op() noexcept {

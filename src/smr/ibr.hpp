@@ -37,6 +37,7 @@ class IbrDomain {
   class Handle : public HandleCore<IbrDomain, Handle> {
    public:
     using Base = HandleCore<IbrDomain, Handle>;
+    using Base::retire;  // typed retire(Protected<T>) — API v2
     Handle(IbrDomain* dom, unsigned tid) : Base(dom, tid) {}
 
     void begin_op() noexcept {

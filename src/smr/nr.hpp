@@ -28,6 +28,7 @@ class NoReclaimDomain {
   class Handle : public HandleCore<NoReclaimDomain, Handle> {
    public:
     using Base = HandleCore<NoReclaimDomain, Handle>;
+    using Base::retire;  // typed retire(Protected<T>) — API v2
     Handle(NoReclaimDomain* dom, unsigned tid) : Base(dom, tid) {}
 
     void begin_op() noexcept {}

@@ -1,25 +1,31 @@
-// Umbrella header for the reclamation schemes, plus the compile-time concept
-// data structures are written against.
+// Umbrella header for the reclamation schemes, plus the compile-time
+// concepts data structures are written against (v1 indexed calls and the
+// v2 guard-centric surface — see smr/guard.hpp and DESIGN.md §6).
 #pragma once
 
 #include <atomic>
 #include <concepts>
 #include <cstdint>
 
+#include "common/stable_atomic.hpp"
 #include "smr/ebr.hpp"
+#include "smr/guard.hpp"
 #include "smr/he.hpp"
 #include "smr/hp.hpp"
 #include "smr/hyaline.hpp"
 #include "smr/ibr.hpp"
 #include "smr/nr.hpp"
+#include "smr/registry.hpp"
 #include "smr/smr_config.hpp"
 
 namespace scot {
 
-// The policy interface every data structure in src/core is templated over.
-// See DESIGN.md §4: indexed protection maps to real slots for HP/HE and to
-// no-ops for EBR/IBR/Hyaline/NR, so one SCOT implementation serves all
-// schemes.
+// The v1 policy interface: indexed protection with manual slot bookkeeping.
+// Kept intact as the compatibility surface — HandleCore and the scheme
+// handles still provide every one of these calls, so pre-v2 code keeps
+// compiling.  See DESIGN.md §4: indexed protection maps to real slots for
+// HP/HE and to no-ops for EBR/IBR/Hyaline/NR, so one SCOT implementation
+// serves all schemes.
 template <class D>
 concept SmrDomain = requires(D d, typename D::Handle& h,
                              const std::atomic<ReclaimNode*>& src,
@@ -38,15 +44,42 @@ concept SmrDomain = requires(D d, typename D::Handle& h,
   h.retire(n);
 };
 
-static_assert(SmrDomain<NoReclaimDomain>);
-static_assert(SmrDomain<EbrDomain>);
-static_assert(SmrDomain<HpDomain>);
-static_assert(SmrDomain<HpOptDomain>);
-static_assert(SmrDomain<HeDomain>);
-static_assert(SmrDomain<IbrDomain>);
-static_assert(SmrDomain<HyalineDomain>);
+// The v2 contract the data structures in src/core are written against:
+// everything v1 provides, plus the typed guard-centric surface — RAII
+// operation guards, named protection slots with the ascending-dup
+// discipline asserted inside, typed Protected<T> views and typed
+// retirement.  All of it is a zero-cost veneer over the v1 calls, so any
+// SmrDomain whose handle derives from HandleCore models SmrDomainV2 for
+// free.
+template <class D>
+concept SmrDomainV2 =
+    SmrDomain<D> &&
+    requires(D d, typename D::Handle& h, TraversalGuard<typename D::Handle>& g,
+             ProtectionSlot<typename D::Handle, ReclaimNode> slot,
+             const StableAtomic<marked_ptr<ReclaimNode>>& link,
+             Protected<ReclaimNode> p, ReclaimNode* anchor) {
+      { d.config() } -> std::convertible_to<const SmrConfig&>;
+      { g.handle() } -> std::same_as<typename D::Handle&>;
+      { g.valid() } -> std::convertible_to<bool>;
+      g.revalidate();
+      { g.template slot<ReclaimNode>() } ->
+          std::same_as<ProtectionSlot<typename D::Handle, ReclaimNode>>;
+      { slot.protect(link) } -> std::same_as<Protected<ReclaimNode>>;
+      slot.publish(anchor);
+      slot.dup_from(slot);
+      h.retire(p);
+    };
 
-// RAII guard for an SMR critical section.
+static_assert(SmrDomainV2<NoReclaimDomain>);
+static_assert(SmrDomainV2<EbrDomain>);
+static_assert(SmrDomainV2<HpDomain>);
+static_assert(SmrDomainV2<HpOptDomain>);
+static_assert(SmrDomainV2<HeDomain>);
+static_assert(SmrDomainV2<IbrDomain>);
+static_assert(SmrDomainV2<HyalineDomain>);
+
+// RAII guard for an SMR critical section (v1 spelling; TraversalGuard is
+// the v2 equivalent and additionally owns slot allocation).
 template <class Handle>
 class OpGuard {
  public:

@@ -99,6 +99,38 @@ TEST(BenchDiff, MatchingIgnoresSeedDurationRuns) {
   EXPECT_TRUE(d.deltas[0].regression);
 }
 
+TEST(BenchDiff, FlagsHardwareThreadMismatch) {
+  ReportMeta base_meta, cand_meta;
+  base_meta.hardware_threads = 1;   // the committed 1-core container baseline
+  cand_meta.hardware_threads = 16;  // a multi-core CI runner
+  BenchReport base(base_meta), cand(cand_meta);
+  base.add("fig8", "grid", cfg_for(SchemeId::kEBR, 1), result_mops(10.0));
+  cand.add("fig8", "grid", cfg_for(SchemeId::kEBR, 1), result_mops(10.0));
+  const DiffReport d = diff_reports(base, cand, DiffOptions{5.0});
+  EXPECT_TRUE(d.hw_mismatch);
+  EXPECT_EQ(d.baseline_hw_threads, 1u);
+  EXPECT_EQ(d.candidate_hw_threads, 16u);
+  EXPECT_EQ(d.regressions, 0) << "hw mismatch is not a throughput regression";
+}
+
+TEST(BenchDiff, HardwareThreadMatchOrUnknownIsClean) {
+  ReportMeta meta;
+  meta.hardware_threads = 4;
+  BenchReport a(meta), b(meta);
+  a.add("fig8", "grid", cfg_for(SchemeId::kEBR, 1), result_mops(10.0));
+  b.add("fig8", "grid", cfg_for(SchemeId::kEBR, 1), result_mops(10.0));
+  EXPECT_FALSE(diff_reports(a, b, DiffOptions{5.0}).hw_mismatch);
+
+  // A report that predates the meta field (hardware_threads == 0) cannot be
+  // declared mismatched: absence of evidence only warrants a pass-through.
+  ReportMeta unknown;
+  unknown.hardware_threads = 0;
+  BenchReport old(unknown);
+  old.add("fig8", "grid", cfg_for(SchemeId::kEBR, 1), result_mops(10.0));
+  EXPECT_FALSE(diff_reports(old, b, DiffOptions{5.0}).hw_mismatch);
+  EXPECT_FALSE(diff_reports(b, old, DiffOptions{5.0}).hw_mismatch);
+}
+
 TEST(BenchDiff, DistinguishesDistributions) {
   BenchReport base, cand;
   CaseConfig uniform = cfg_for(SchemeId::kEBR, 1);

@@ -7,6 +7,7 @@
 
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "bench/options.hpp"
@@ -60,6 +61,28 @@ TEST(Options, StructureModesResolve) {
   EXPECT_EQ(structure_from_mode("skiphs"), StructureId::kSkipListEager);
   EXPECT_FALSE(structure_from_mode("queue").has_value());
   EXPECT_FALSE(structure_from_mode("").has_value());
+}
+
+TEST(Options, NameTablesAreTheRuntimeRegistries) {
+  // Since API v2 the bench layer re-exports identity from the library's
+  // runtime registries (src/smr/registry.hpp, src/core/registry.hpp): the
+  // types are literally the same, and every CLI name resolves through the
+  // registry tables — no second copy to drift.
+  static_assert(std::is_same_v<SchemeId, scot::SchemeId>);
+  static_assert(std::is_same_v<StructureId, scot::StructureId>);
+  for (SchemeId s : kAllSchemes) {
+    EXPECT_STREQ(scheme_name(s), scot::scheme_info(s).name);
+    EXPECT_EQ(scot::scheme_from_name(scheme_name(s)), s);
+  }
+  for (StructureId d : kAllStructures) {
+    EXPECT_STREQ(structure_name(d), scot::structure_name(d));
+    EXPECT_EQ(scot::structure_from_name(structure_name(d)), d);
+  }
+  // The registry's robustness column mirrors Domain::kRobust (statically
+  // asserted against the domain types in src/core/any_map.cpp); spot-check
+  // the two families here.
+  EXPECT_FALSE(scot::scheme_info(SchemeId::kEBR).robust);
+  EXPECT_TRUE(scot::scheme_info(SchemeId::kHP).robust);
 }
 
 TEST(Options, StructureNamesAreDistinct) {
