@@ -3,27 +3,30 @@
 // instead of restarting from the head.  The paper found it "beneficial for
 // Harris' list" but not for the tree; this bench quantifies the list side:
 // throughput plus the restart/recovery counters that explain it.
+//
+// Both variants are registered AnyMap cells (StructureId::kHList with the
+// default traits, StructureId::kHListNoRecovery without the escape), so the
+// runs go through the same registry-driven run_case() as every figure
+// binary and the JSON cells carry distinct structure identities that
+// bench_diff keys on.
 #include <cstdio>
 
 #include "bench/fig_common.hpp"
-#include "bench/runner_impl.hpp"
 
 using namespace scot;
 using namespace scot::bench;
 
-template <class Traits>
-static CaseResult run_list(unsigned threads, std::uint64_t range, int ms,
-                           const char* variant) {
+static CaseResult run_list(StructureId structure, unsigned threads,
+                           std::uint64_t range, int ms, const char* variant) {
   CaseConfig cfg;
+  cfg.structure = structure;
   cfg.scheme = SchemeId::kHP;
   cfg.threads = threads;
   cfg.key_range = range;
   cfg.millis = ms;
   cfg.runs = env_runs();
   apply_session_flags(cfg);
-  const CaseResult r = scot::bench::detail::run_structure<
-      HarrisList<std::uint64_t, std::uint64_t, HpDomain, Traits>, HpDomain>(
-      cfg);
+  const CaseResult r = run_case(cfg);
   fig_record(std::string("recovery ablation, ") + variant, cfg, r);
   return r;
 }
@@ -37,9 +40,9 @@ int main(int argc, char** argv) {
     Table t({"threads", "recovery Mops", "recovery restarts", "recoveries",
              "no-recovery Mops", "no-recovery restarts"});
     for (unsigned th : env_threads()) {
-      const CaseResult on = run_list<HarrisListTraits>(th, range, ms, "on");
+      const CaseResult on = run_list(StructureId::kHList, th, range, ms, "on");
       const CaseResult off =
-          run_list<HarrisListNoRecoveryTraits>(th, range, ms, "off");
+          run_list(StructureId::kHListNoRecovery, th, range, ms, "off");
       t.add_row({std::to_string(th), format_double(on.mops, 2),
                  std::to_string(on.restarts), std::to_string(on.recoveries),
                  format_double(off.mops, 2), std::to_string(off.restarts)});

@@ -4,32 +4,30 @@
 // a shared-visible slot, so the unrolled version should win, most visibly
 // at small key ranges where traversals are short and dup cost is a large
 // fraction of the operation.
+//
+// Both variants are registered AnyMap cells (StructureId::kHList unrolled,
+// StructureId::kHListSimple simple), so the runs go through the registry-
+// driven run_case() and the JSON cells carry distinct structure identities
+// that bench_diff keys on.
 #include <cstdio>
 
 #include "bench/fig_common.hpp"
-#include "bench/runner_impl.hpp"
 
 using namespace scot;
 using namespace scot::bench;
 
-template <class Traits>
-static CaseResult run_list(unsigned threads, std::uint64_t range, int ms,
-                           SchemeId scheme, const char* variant) {
+static CaseResult run_list(StructureId structure, unsigned threads,
+                           std::uint64_t range, int ms, SchemeId scheme,
+                           const char* variant) {
   CaseConfig cfg;
+  cfg.structure = structure;
   cfg.scheme = scheme;
   cfg.threads = threads;
   cfg.key_range = range;
   cfg.millis = ms;
   cfg.runs = env_runs();
   apply_session_flags(cfg);
-  const CaseResult r =
-      scheme == SchemeId::kHP
-          ? scot::bench::detail::run_structure<
-                HarrisList<std::uint64_t, std::uint64_t, HpDomain, Traits>,
-                HpDomain>(cfg)
-          : scot::bench::detail::run_structure<
-                HarrisList<std::uint64_t, std::uint64_t, HeDomain, Traits>,
-                HeDomain>(cfg);
+  const CaseResult r = run_case(cfg);
   fig_record(std::string("unroll ablation, ") + variant, cfg, r);
   return r;
 }
@@ -45,9 +43,9 @@ int main(int argc, char** argv) {
       Table t({"threads", "unrolled Mops", "simple Mops", "speedup"});
       for (unsigned th : env_threads()) {
         const CaseResult fast =
-            run_list<HarrisListTraits>(th, range, ms, scheme, "unrolled");
-        const CaseResult simple =
-            run_list<HarrisListSimpleTraits>(th, range, ms, scheme, "simple");
+            run_list(StructureId::kHList, th, range, ms, scheme, "unrolled");
+        const CaseResult simple = run_list(StructureId::kHListSimple, th,
+                                           range, ms, scheme, "simple");
         t.add_row({std::to_string(th), format_double(fast.mops, 2),
                    format_double(simple.mops, 2),
                    format_double(simple.mops > 0 ? fast.mops / simple.mops : 0,

@@ -8,14 +8,23 @@
 //  * default           — the google-benchmark suite.  protect/* benchmarks
 //                        take an Arg: 1 = asymmetric fences, 0 = classic
 //                        seq_cst publication.
-//  * --json <path>     — the protect-latency sweep: a fixed-iteration
-//                        protect loop per (scheme, fence discipline),
-//                        measured in ns and TSC cycles per call and written
-//                        as scot-bench v1 cells (bench "micro_smr",
-//                        structure "none").  This is the A/B evidence for
-//                        the asymmetric-fence fast path; BENCH_pr3.json is
-//                        a committed capture.  google-benchmark flags are
-//                        not accepted in this mode.
+//  * --json <path>     — two fixed-iteration latency sweeps per (scheme,
+//                        fence discipline), measured in ns and TSC cycles
+//                        per call and written as scot-bench v1 cells
+//                        (bench "micro_smr", structure "none"):
+//                          protect-latency   — a hot protect() loop (the
+//                                              PR 3 A/B evidence;
+//                                              BENCH_pr3.json is a capture)
+//                          begin_op-latency  — operation activation: one
+//                                              begin_op + first protect +
+//                                              end_op per iteration, the
+//                                              era-scheme read-side cost
+//                                              the asymmetric activation
+//                                              discipline lifts
+//                                              (BENCH_pr5.json is a
+//                                              capture).
+//                        google-benchmark flags are not accepted in this
+//                        mode.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -132,28 +141,19 @@ struct LatencySample {
   std::uint64_t iters = 0;
 };
 
-template <class Smr>
-LatencySample measure_protect(bool asym) {
-  SmrConfig cfg;
-  cfg.max_threads = 2;
-  cfg.asymmetric_fences = asym;
-  Smr smr(cfg);
-  auto& h = smr.handle(0);
-  auto* n = h.template alloc<ProbeNode>();
-  std::atomic<ReclaimNode*> src{n};
-  h.begin_op();
+// Warmup + timed loop (ns and TSC) around one measured call.  Both sweeps
+// share this scaffolding so their cells stay comparable: any change to the
+// iteration counts or the cycle accounting applies to both.
+template <class Body>
+LatencySample measure_loop(Body&& body) {
   constexpr std::uint64_t kWarmup = 1u << 14;
   constexpr std::uint64_t kIters = 1u << 21;  // ~2M calls per sample
-  for (std::uint64_t i = 0; i < kWarmup; ++i)
-    benchmark::DoNotOptimize(h.protect(src, 0));
+  for (std::uint64_t i = 0; i < kWarmup; ++i) body();
   const std::uint64_t c0 = read_tsc();
   const std::uint64_t t0 = now_ns();
-  for (std::uint64_t i = 0; i < kIters; ++i)
-    benchmark::DoNotOptimize(h.protect(src, 0));
+  for (std::uint64_t i = 0; i < kIters; ++i) body();
   const std::uint64_t t1 = now_ns();
   const std::uint64_t c1 = read_tsc();
-  h.end_op();
-  h.dealloc_unpublished(n);
 
   LatencySample s;
   s.iters = kIters;
@@ -166,40 +166,92 @@ LatencySample measure_protect(bool asym) {
 }
 
 template <class Smr>
-void sweep_scheme(bench::BenchReport& report, bench::SchemeId id) {
+LatencySample measure_protect(bool asym) {
+  SmrConfig cfg;
+  cfg.max_threads = 2;
+  cfg.asymmetric_fences = asym;
+  Smr smr(cfg);
+  auto& h = smr.handle(0);
+  auto* n = h.template alloc<ProbeNode>();
+  std::atomic<ReclaimNode*> src{n};
+  h.begin_op();
+  const LatencySample s =
+      measure_loop([&] { benchmark::DoNotOptimize(h.protect(src, 0)); });
+  h.end_op();
+  h.dealloc_unpublished(n);
+  return s;
+}
+
+// Operation activation: begin_op + the operation's first protect + end_op.
+// The first protect is part of the measurement deliberately — HE (and HP)
+// have an empty begin_op and only become visible to reclaimers at their
+// first slot publish, so begin_op alone would measure zero for exactly the
+// scheme whose activation store the asymmetric discipline relaxes.
+template <class Smr>
+LatencySample measure_activation(bool asym) {
+  SmrConfig cfg;
+  cfg.max_threads = 2;
+  cfg.asymmetric_fences = asym;
+  Smr smr(cfg);
+  auto& h = smr.handle(0);
+  auto* n = h.template alloc<ProbeNode>();
+  std::atomic<ReclaimNode*> src{n};
+  const LatencySample s = measure_loop([&] {
+    h.begin_op();
+    benchmark::DoNotOptimize(h.protect(src, 0));
+    h.end_op();
+  });
+  h.dealloc_unpublished(n);
+  return s;
+}
+
+void record_sample(bench::BenchReport& report, const char* label,
+                   bench::SchemeId id, bool asym, const LatencySample& s,
+                   const char* unit) {
   using bench::CaseConfig;
   using bench::CaseResult;
-  for (const bool asym : {true, false}) {
-    const LatencySample s = measure_protect<Smr>(asym);
-    CaseConfig cfg;
-    cfg.structure = bench::StructureId::kNone;
-    cfg.scheme = id;
-    cfg.threads = 1;
-    cfg.key_range = 0;
-    cfg.read_pct = 100;
-    cfg.insert_pct = 0;
-    cfg.delete_pct = 0;
-    cfg.millis = 0;
-    cfg.op_budget = s.iters;
-    cfg.asymmetric_fences = asym;
-    CaseResult r;
-    r.total_ops = s.iters;
-    r.seconds = s.seconds;
-    r.mops = static_cast<double>(s.iters) / s.seconds / 1e6;
-    r.ns_per_op = s.ns_per_op;
-    r.cycles_per_op = s.cycles_per_op;
-    report.add("micro_smr", "protect-latency", cfg, r);
-    std::printf("  %-6s %-9s %8.2f ns/protect %9.1f cycles\n",
-                bench::scheme_name(id), asym ? "asym" : "classic",
-                s.ns_per_op, s.cycles_per_op);
-  }
+  CaseConfig cfg;
+  cfg.structure = bench::StructureId::kNone;
+  cfg.scheme = id;
+  cfg.threads = 1;
+  cfg.key_range = 0;
+  cfg.read_pct = 100;
+  cfg.insert_pct = 0;
+  cfg.delete_pct = 0;
+  cfg.millis = 0;
+  cfg.op_budget = s.iters;
+  cfg.asymmetric_fences = asym;
+  CaseResult r;
+  r.total_ops = s.iters;
+  r.seconds = s.seconds;
+  r.mops = static_cast<double>(s.iters) / s.seconds / 1e6;
+  r.ns_per_op = s.ns_per_op;
+  r.cycles_per_op = s.cycles_per_op;
+  report.add("micro_smr", label, cfg, r);
+  std::printf("  %-6s %-9s %8.2f ns/%s %9.1f cycles\n",
+              bench::scheme_name(id), asym ? "asym" : "classic", s.ns_per_op,
+              unit, s.cycles_per_op);
+}
+
+template <class Smr>
+void sweep_scheme(bench::BenchReport& report, bench::SchemeId id) {
+  for (const bool asym : {true, false})
+    record_sample(report, "protect-latency", id, asym,
+                  measure_protect<Smr>(asym), "protect");
+}
+
+template <class Smr>
+void sweep_activation(bench::BenchReport& report, bench::SchemeId id) {
+  for (const bool asym : {true, false})
+    record_sample(report, "begin_op-latency", id, asym,
+                  measure_activation<Smr>(asym), "op");
 }
 
 int run_latency_sweep(const std::string& json_path) {
   bench::BenchReport report;
-  std::printf("== protect-latency: fenced vs. asymmetric ==\n");
   std::printf("   fence path when asymmetric: %s\n",
               asymfence::runtime_path_name());
+  std::printf("== protect-latency: fenced vs. asymmetric ==\n");
   sweep_scheme<NoReclaimDomain>(report, bench::SchemeId::kNR);
   sweep_scheme<EbrDomain>(report, bench::SchemeId::kEBR);
   sweep_scheme<HpDomain>(report, bench::SchemeId::kHP);
@@ -207,6 +259,16 @@ int run_latency_sweep(const std::string& json_path) {
   sweep_scheme<HeDomain>(report, bench::SchemeId::kHE);
   sweep_scheme<IbrDomain>(report, bench::SchemeId::kIBR);
   sweep_scheme<HyalineDomain>(report, bench::SchemeId::kHLN);
+  std::printf(
+      "== begin_op-latency (activation: begin_op + first protect + end_op) "
+      "==\n");
+  sweep_activation<NoReclaimDomain>(report, bench::SchemeId::kNR);
+  sweep_activation<EbrDomain>(report, bench::SchemeId::kEBR);
+  sweep_activation<HpDomain>(report, bench::SchemeId::kHP);
+  sweep_activation<HpOptDomain>(report, bench::SchemeId::kHPopt);
+  sweep_activation<HeDomain>(report, bench::SchemeId::kHE);
+  sweep_activation<IbrDomain>(report, bench::SchemeId::kIBR);
+  sweep_activation<HyalineDomain>(report, bench::SchemeId::kHLN);
   std::string error;
   if (!report.write_file(json_path, &error)) {
     std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),

@@ -7,10 +7,10 @@
 //
 // The measured loop (`run_one_map`) is written against a *map-like* value:
 // tid-indexed insert/erase/contains plus the pending/restart telemetry —
-// exactly the surface of scot::AnyMap.  The registry-driven run_case()
-// (bench/runner.cpp) feeds it AnyMap cells; the trait-ablation binaries,
-// which exercise structure variants that have no StructureId, feed it a
-// typed adapter via run_structure<DS, Smr>.
+// exactly the surface of scot::AnyMap.  Every binary — the figure grids,
+// bench_cli, and the trait-ablation binaries (whose variants are registered
+// AnyMap cells since the ablation StructureIds landed) — reaches it through
+// the registry-driven run_case() in bench/runner.cpp.
 #pragma once
 
 #include <algorithm>
@@ -52,6 +52,14 @@ inline SmrConfig smr_config_for(const CaseConfig& cfg) {
   scfg.max_threads = cfg.threads;
   scfg.scan_threshold = 128;        // paper calibration
   scfg.era_freq = 12 * cfg.threads; // paper calibration
+  // Hyaline's reclaim cadence is the batch handoff, not a limbo scan; the
+  // library's auto capacity (max_threads + 1, the paper's 1S minimum)
+  // would hand off — and, under asymmetric fences, issue a heavy barrier —
+  // every handful of retires, ~25x more often than the other schemes'
+  // scan_threshold.  Align it with the same per-128-retires calibration
+  // (never below the structural minimum the batch/slot accounting needs).
+  scfg.batch_capacity = std::max(cfg.threads + 1u,
+                                 static_cast<unsigned>(scfg.scan_threshold));
   scfg.track_stats = cfg.sample_memory;
   scfg.asymmetric_fences = cfg.asymmetric_fences;
   return scfg;
@@ -63,15 +71,6 @@ inline std::size_t bucket_count_for(const CaseConfig& cfg) {
   return cfg.hash_buckets != 0
              ? cfg.hash_buckets
              : std::max<std::size_t>(1, cfg.key_range / 8);
-}
-
-template <class DS, class Smr>
-std::unique_ptr<DS> make_structure(Smr& smr, const CaseConfig& cfg) {
-  if constexpr (requires { DS(smr, std::size_t{1}); }) {
-    return std::make_unique<DS>(smr, bucket_count_for(cfg));
-  } else {
-    return std::make_unique<DS>(smr);
-  }
 }
 
 // One measured run over a map-like value (see the header comment).
@@ -201,54 +200,6 @@ CaseResult run_one_map(MapLike& map, const CaseConfig& cfg,
   return r;
 }
 
-// Typed adapter giving a (domain, structure) pair the map-like surface.
-// Used by the trait-ablation binaries; the registry-backed path goes
-// through scot::AnyMap instead.  Handles are resolved once at construction
-// so the measured loop never pays the domain's bounds-checked lookup.
-template <class DS, class Smr>
-struct TypedMapAdapter {
-  Smr& smr;
-  DS& ds;
-  std::vector<typename Smr::Handle*> handles;
-
-  TypedMapAdapter(Smr& smr_in, DS& ds_in) : smr(smr_in), ds(ds_in) {
-    handles.reserve(smr.config().max_threads);
-    for (unsigned t = 0; t < smr.config().max_threads; ++t)
-      handles.push_back(&smr.handle(t));
-  }
-
-  bool insert(unsigned tid, std::uint64_t k, std::uint64_t v) {
-    return ds.insert(*handles[tid], k, v);
-  }
-  bool erase(unsigned tid, std::uint64_t k) {
-    return ds.erase(*handles[tid], k);
-  }
-  bool contains(unsigned tid, std::uint64_t k) {
-    return ds.contains(*handles[tid], k);
-  }
-  std::int64_t pending_nodes() const { return smr.pending_nodes(); }
-  std::uint64_t restarts() const {
-    std::uint64_t n = 0;
-    for (unsigned t = 0; t < smr.config().max_threads; ++t)
-      n += smr.handle(t).ds_restarts;
-    return n;
-  }
-  std::uint64_t recoveries() const {
-    std::uint64_t n = 0;
-    for (unsigned t = 0; t < smr.config().max_threads; ++t)
-      n += smr.handle(t).ds_recoveries;
-    return n;
-  }
-};
-
-template <class DS, class Smr>
-CaseResult run_one(const CaseConfig& cfg, std::uint64_t run_seed) {
-  Smr smr(smr_config_for(cfg));
-  auto ds = make_structure<DS, Smr>(smr, cfg);
-  TypedMapAdapter<DS, Smr> adapter{smr, *ds};
-  return run_one_map(adapter, cfg, run_seed);
-}
-
 // Median of cfg.runs fresh runs.
 template <class Runner>
 CaseResult median_of_runs(const CaseConfig& cfg, Runner&& one_run) {
@@ -261,13 +212,6 @@ CaseResult median_of_runs(const CaseConfig& cfg, Runner&& one_run) {
               return a.mops < b.mops;
             });
   return results[results.size() / 2];  // median run
-}
-
-template <class DS, class Smr>
-CaseResult run_structure(const CaseConfig& cfg) {
-  return median_of_runs(cfg, [&](std::uint64_t seed) {
-    return run_one<DS, Smr>(cfg, seed);
-  });
 }
 
 }  // namespace detail

@@ -4,7 +4,11 @@
 // side: the slot store must be globally visible before the validating
 // re-read executes.  Encoding that edge with seq_cst atomics puts a full
 // fence on every protect() call — the dominant cost of HP/HPopt traversals
-// (and of HE/IBR era publication) on read-mostly workloads.
+// (and of HE/IBR era publication) on read-mostly workloads.  Era-scheme
+// *operation activation* (EBR's epoch reservation, IBR's interval publish,
+// Hyaline's slot activation) carries the same shaped edge — the activation
+// store vs. the operation's first shared load — and uses the same remedy,
+// so an era-scheme read-side operation is fence-free end to end.
 //
 // The standard remedy is to make the fence asymmetric: readers run a
 // release store plus a *compiler-only* barrier (Path::kMembarrier), and the

@@ -100,6 +100,13 @@ void register_scheme(SchemeId id) {
   reg.add(id, StructureId::kSkipList, &make_cell<Smr, SkipList<K, V, Smr>>);
   reg.add(id, StructureId::kSkipListEager,
           &make_cell<Smr, SkipList<K, V, Smr, SkipListEagerTraits>>);
+  // Trait-ablation variants (bench_ablation_recovery / bench_ablation_unroll)
+  // — registered like any other cell so the ablation binaries route through
+  // run_case() and their JSON cells carry a real structure identity.
+  reg.add(id, StructureId::kHListNoRecovery,
+          &make_cell<Smr, HarrisList<K, V, Smr, HarrisListNoRecoveryTraits>>);
+  reg.add(id, StructureId::kHListSimple,
+          &make_cell<Smr, HarrisList<K, V, Smr, HarrisListSimpleTraits>>);
 }
 
 const bool kRegistered = [] {

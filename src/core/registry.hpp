@@ -30,15 +30,24 @@ enum class StructureId {
   kHListWF,
   kNMTree,
   kHashMap,
-  kSkipList,       // Fraser-style optimistic traversal with SCOT
-  kSkipListEager,  // Herlihy-Shavit-style eager unlink (baseline)
-  kNone,           // SMR-layer microbench cells (no data structure)
+  kSkipList,        // Fraser-style optimistic traversal with SCOT
+  kSkipListEager,   // Herlihy-Shavit-style eager unlink (baseline)
+  kHListNoRecovery, // trait ablation §3.2.1: restart-from-head, no recovery
+  kHListSimple,     // trait ablation §3.2: simple (Fig 5 left) Do_Find
+  kNone,            // SMR-layer microbench cells (no data structure)
 };
 
 inline constexpr StructureId kAllStructures[] = {
     StructureId::kHMList,  StructureId::kHList,    StructureId::kHListWF,
     StructureId::kNMTree,  StructureId::kHashMap,  StructureId::kSkipList,
     StructureId::kSkipListEager};
+
+// Trait-ablation variants of the Harris list (bench_ablation_*): registered,
+// name-resolvable identities so their JSON cells diff cleanly, but — like
+// kNone — deliberately absent from kAllStructures, so no figure grid or
+// cross-product test ever iterates them.
+inline constexpr StructureId kAblationStructures[] = {
+    StructureId::kHListNoRecovery, StructureId::kHListSimple};
 
 inline const char* structure_name(StructureId s) noexcept {
   switch (s) {
@@ -49,16 +58,22 @@ inline const char* structure_name(StructureId s) noexcept {
     case StructureId::kHashMap: return "HashMap";
     case StructureId::kSkipList: return "SkipList";
     case StructureId::kSkipListEager: return "SkipListHS";
+    case StructureId::kHListNoRecovery: return "HListNoRec";
+    case StructureId::kHListSimple: return "HListSimple";
     case StructureId::kNone: return "none";
   }
   return "?";
 }
 
-// Reverse of structure_name(); used when loading JSON reports.  "none" is
-// resolvable (micro-SMR cells carry it) but deliberately absent from
-// kAllStructures, so no grid ever iterates it.
+// Reverse of structure_name(); used when loading JSON reports.  "none" and
+// the ablation variants are resolvable (micro-SMR and ablation cells carry
+// them) but deliberately absent from kAllStructures, so no grid ever
+// iterates them.
 inline std::optional<StructureId> structure_from_name(std::string_view name) {
   if (name == structure_name(StructureId::kNone)) return StructureId::kNone;
+  for (StructureId s : kAblationStructures) {
+    if (name == structure_name(s)) return s;
+  }
   for (StructureId s : kAllStructures) {
     if (name == structure_name(s)) return s;
   }

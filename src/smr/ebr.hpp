@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/asymfence.hpp"
 #include "smr/handle_core.hpp"
 #include "smr/node_pool.hpp"
 #include "smr/smr_config.hpp"
@@ -38,10 +39,22 @@ class EbrDomain {
     Handle(EbrDomain* dom, unsigned tid) : Base(dom, tid) {}
 
     void begin_op() noexcept {
-      // seq_cst: the reservation must be visible to reclaimers before any of
-      // this operation's shared loads execute (StoreLoad).
+      // The reservation must be visible to reclaimers before any of this
+      // operation's shared loads execute (StoreLoad).  Classic: a seq_cst
+      // activation store.  Asymmetric: release store + compiler barrier;
+      // the StoreLoad edge is restored by the heavy barrier every scan
+      // issues before reading the reservations (DESIGN.md §5).  The epoch
+      // is loaded *before* the store (data dependency), so the published
+      // reservation can never lag the clock value this operation validates
+      // against.
       const std::uint64_t e = dom_->clock_.load(std::memory_order_acquire);
-      dom_->res_[tid_]->store(e, std::memory_order_seq_cst);
+      const asymfence::Path fences = dom_->fence_path_;
+      if (fences == asymfence::Path::kClassic) {
+        dom_->res_[tid_]->store(e, std::memory_order_seq_cst);
+      } else {
+        dom_->res_[tid_]->store(e, std::memory_order_release);
+        asymfence::light_barrier(fences);
+      }
     }
     void end_op() noexcept {
       dom_->res_[tid_]->store(kIdle, std::memory_order_release);
@@ -74,6 +87,12 @@ class EbrDomain {
 
     // Frees every retired node no active reservation can still reference.
     void scan() {
+      // Surface in-flight activation stores before snapshotting the
+      // reservations; a reservation the barrier does not surface belongs
+      // to a thread whose first shared load is ordered after every unlink
+      // in this batch (DESIGN.md §5, activation case).
+      if (dom_->fence_path_ != asymfence::Path::kClassic)
+        asymfence::heavy_barrier(dom_->fence_path_);
       const std::uint64_t min_res = dom_->min_reservation();
       ReclaimNode* n = limbo_.take();
       std::uint64_t freed = 0;
@@ -100,7 +119,10 @@ class EbrDomain {
   };
 
   explicit EbrDomain(SmrConfig cfg = {})
-      : cfg_(cfg), pool_(cfg.max_threads), res_(cfg.max_threads) {
+      : cfg_(cfg),
+        pool_(cfg.max_threads),
+        res_(cfg.max_threads),
+        fence_path_(asymfence::resolve(cfg.asymmetric_fences)) {
     for (auto& r : res_) r->store(kIdle, std::memory_order_relaxed);
     handles_.reserve(cfg_.max_threads);
     for (unsigned t = 0; t < cfg_.max_threads; ++t)
@@ -119,6 +141,7 @@ class EbrDomain {
   std::uint64_t epoch() const noexcept {
     return clock_.load(std::memory_order_acquire);
   }
+  asymfence::Path fence_path() const noexcept { return fence_path_; }
 
   std::uint64_t min_reservation() const noexcept {
     std::uint64_t m = kIdle;
@@ -152,6 +175,7 @@ class EbrDomain {
   SmrCounters counters_;
   std::atomic<std::uint64_t> clock_{1};
   std::vector<Padded<std::atomic<std::uint64_t>>> res_;
+  asymfence::Path fence_path_;
   std::vector<std::unique_ptr<Handle>> handles_;
 };
 

@@ -40,6 +40,13 @@ class HeDomain {
                         dom->cfg_.slots_per_thread);
     }
 
+    // HE has no eager activation store: an operation becomes visible to
+    // reclaimers at its *first slot publish* (end_op cleared every slot, so
+    // the first protect() of the next operation always publishes).  That
+    // store already runs the asymmetric discipline below — release +
+    // compiler barrier, with the scan-side heavy barrier restoring the
+    // StoreLoad edge (DESIGN.md §5, activation case) — so begin_op stays
+    // free under both disciplines.
     void begin_op() noexcept {}
 
     void end_op() noexcept {

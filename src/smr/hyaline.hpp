@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/asymfence.hpp"
 #include "smr/handle_core.hpp"
 #include "smr/node_pool.hpp"
 #include "smr/smr_config.hpp"
@@ -59,10 +60,34 @@ class HyalineDomain {
       auto& s = *dom_->slots_[tid_];
       era_local_ = dom_->clock_.load(std::memory_order_acquire);
       s.era.store(era_local_, std::memory_order_release);
-      // seq_cst: activation must be visible to retirers before this
-      // operation performs any shared loads.
-      assert(s.head.load(std::memory_order_relaxed) == kInactive);
-      s.head.store(kActiveEmpty, std::memory_order_seq_cst);
+      // Activation must be visible to retirers before this operation
+      // performs any shared loads (StoreLoad).  Classic: a seq_cst head
+      // store.  Asymmetric: release store + compiler barrier; seal_batch()
+      // compensates with one heavy barrier before reading the slots
+      // (DESIGN.md §5, activation case).  The era store above is release-
+      // ordered before the head store either way, so a retirer that sees
+      // the slot active also sees an era at least as new as era_local_.
+      const asymfence::Path fences = dom_->fence_path_;
+#ifndef NDEBUG
+      // Debug check that the previous operation deactivated the slot.  An
+      // exchange (a full RMW even at relaxed strength) reads the
+      // coherence-latest value, so the check cannot misfire on a stale
+      // load under the relaxed activation discipline; the store below then
+      // publishes kActiveEmpty exactly as in release builds.  (A relaxed
+      // load would in fact also be sound — while the slot is inactive no
+      // other thread writes it, and a thread always observes its own last
+      // store — but the exchange makes that reasoning unnecessary.)
+      const std::uintptr_t prev =
+          s.head.exchange(kInactive, std::memory_order_relaxed);
+      assert(prev == kInactive &&
+             "begin_op on a slot the previous operation left active");
+#endif
+      if (fences == asymfence::Path::kClassic) {
+        s.head.store(kActiveEmpty, std::memory_order_seq_cst);
+      } else {
+        s.head.store(kActiveEmpty, std::memory_order_release);
+        asymfence::light_barrier(fences);
+      }
     }
 
     void end_op() noexcept {
@@ -131,6 +156,13 @@ class HyalineDomain {
 
     // Hands the accumulated batch to all active, era-overlapping slots.
     void seal_batch() {
+      // Surface in-flight activations before reading the slots: every node
+      // in this batch was unlinked before it was retired, so an activation
+      // the barrier does not surface belongs to a thread whose shared
+      // loads are all ordered after those unlinks — it cannot reach any
+      // node of this batch, and skipping its slot is safe (DESIGN.md §5).
+      if (dom_->fence_path_ != asymfence::Path::kClassic)
+        asymfence::heavy_barrier(dom_->fence_path_);
       auto* bh = new BatchHandle;
       bh->refs.store(kGuard, std::memory_order_relaxed);
       bh->first = batch_head_;
@@ -210,7 +242,8 @@ class HyalineDomain {
         pool_(cfg.max_threads),
         batch_capacity_(cfg.batch_capacity != 0 ? cfg.batch_capacity
                                                 : cfg.max_threads + 1),
-        slots_(cfg.max_threads) {
+        slots_(cfg.max_threads),
+        fence_path_(asymfence::resolve(cfg.asymmetric_fences)) {
     assert(batch_capacity_ >= cfg_.max_threads + 1 &&
            "a batch needs one member node per reservation slot");
     handles_.reserve(cfg_.max_threads);
@@ -231,6 +264,7 @@ class HyalineDomain {
     return clock_.load(std::memory_order_acquire);
   }
   unsigned batch_capacity() const noexcept { return batch_capacity_; }
+  asymfence::Path fence_path() const noexcept { return fence_path_; }
 
  private:
   friend class Handle;
@@ -268,6 +302,7 @@ class HyalineDomain {
   std::atomic<std::uint64_t> clock_{1};
   unsigned batch_capacity_;
   std::vector<Padded<SlotData>> slots_;
+  asymfence::Path fence_path_;
   std::vector<std::unique_ptr<Handle>> handles_;
 };
 

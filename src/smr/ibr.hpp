@@ -8,10 +8,15 @@
 // interval.  Because protection is not indexed, dup() is a no-op — this is
 // the "simplified programming model" the paper credits IBR with.
 //
-// Ordering note: begin_op stores `lower` (release) before `upper` (seq_cst).
-// A reclaimer snapshots `upper` first and `lower` second; if it observes the
-// new upper it is guaranteed to observe the new lower, and any torn pair it
-// can observe widens the interval (conservative).
+// Ordering note: begin_op stores `lower` (release) before `upper`.  A
+// reclaimer snapshots `upper` first and `lower` second; if it observes the
+// new upper it is guaranteed to observe the new lower.  A torn pair with a
+// stale *lower* maps kIdle to 0 and widens conservatively; a torn pair
+// with a stale *upper* yields an empty interval, which is safe not by
+// widening but by the fence discipline: an `upper` publication the
+// reclaimer cannot see means the operation's shared loads are all ordered
+// after the scan's barrier, so it cannot reach the nodes being freed
+// (DESIGN.md §5, IBR tear note).
 #pragma once
 
 #include <atomic>
@@ -41,10 +46,23 @@ class IbrDomain {
     Handle(IbrDomain* dom, unsigned tid) : Base(dom, tid) {}
 
     void begin_op() noexcept {
+      // Activation publishes the interval: `lower` first (release), then
+      // `upper`, whose store carries the StoreLoad edge against this
+      // operation's shared loads.  Classic: seq_cst.  Asymmetric: release +
+      // compiler barrier, compensated by the heavy barrier scans issue
+      // before collect_intervals() (DESIGN.md §5, activation case).  Both
+      // eras come from the clock value loaded first, so the published
+      // interval can never lag the era this operation validates against.
       const std::uint64_t e = dom_->clock_.load(std::memory_order_acquire);
       upper_cache_ = e;
       (*dom_->res_[tid_]).lower.store(e, std::memory_order_release);
-      (*dom_->res_[tid_]).upper.store(e, std::memory_order_seq_cst);
+      const asymfence::Path fences = dom_->fence_path_;
+      if (fences == asymfence::Path::kClassic) {
+        (*dom_->res_[tid_]).upper.store(e, std::memory_order_seq_cst);
+      } else {
+        (*dom_->res_[tid_]).upper.store(e, std::memory_order_release);
+        asymfence::light_barrier(fences);
+      }
     }
 
     void end_op() noexcept {
@@ -176,7 +194,9 @@ class IbrDomain {
       const std::uint64_t hi = res_[t]->upper.load(std::memory_order_acquire);
       const std::uint64_t lo = res_[t]->lower.load(std::memory_order_acquire);
       if (lo == kIdle && hi == kIdle) continue;
-      // A torn observation widens conservatively.
+      // kIdle halves of a torn observation widen conservatively; a
+      // stale-upper tear can produce an empty interval, covered by the
+      // scan barrier instead (see the ordering note at the top).
       out.emplace_back(lo == kIdle ? 0 : lo, hi == kIdle ? ~std::uint64_t{0} : hi);
     }
   }

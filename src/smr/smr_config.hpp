@@ -56,12 +56,16 @@ struct SmrConfig {
   // off.  Reads are exact when quiescent, approximate otherwise.
   bool track_stats = true;
 
-  // Asymmetric-fence protection fast path (HP/HPopt/HE/IBR): protect()
-  // publishes with a release store plus a compiler barrier, and scans issue
-  // one process-wide heavy barrier instead (src/common/asymfence.hpp,
-  // DESIGN.md §5).  Off = the original per-protect seq_cst publication.
-  // Falls back automatically to per-slot seq_cst fences when
-  // sys_membarrier is unavailable.  Default honours the SCOT_ASYM env knob.
+  // Asymmetric-fence fast path, covering both reader-side publications:
+  // protection (HP/HPopt protect(), HE/IBR era publication) and operation
+  // activation (EBR/IBR/Hyaline begin_op; HE activates at its first slot
+  // publish).  Readers publish with a release store plus a compiler
+  // barrier, and the reclaimer side — limbo scans and Hyaline's
+  // retire-batch handoff — issues one process-wide heavy barrier before
+  // reading the reservations instead (src/common/asymfence.hpp, DESIGN.md
+  // §5).  Off = the original per-call seq_cst publication.  Falls back
+  // automatically to per-slot seq_cst fences when sys_membarrier is
+  // unavailable.  Default honours the SCOT_ASYM env knob.
   bool asymmetric_fences = smr_config_detail::asym_fences_default();
 };
 

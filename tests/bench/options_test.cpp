@@ -310,6 +310,24 @@ TEST(Options, MicroStructureNoneResolvesButIsNotIterable) {
       << "'none' is not a paper-CLI mode";
 }
 
+TEST(Options, AblationStructuresResolveButStayOutOfGrids) {
+  // The trait-ablation identities (bench_ablation_*) must round-trip
+  // through the name table — their JSON cells are loaded strictly by
+  // bench_diff — but never appear in the figure grids or the AnyMap
+  // cross-product tests.
+  EXPECT_EQ(structure_from_name("HListNoRec"),
+            StructureId::kHListNoRecovery);
+  EXPECT_EQ(structure_from_name("HListSimple"), StructureId::kHListSimple);
+  for (StructureId a : scot::kAblationStructures) {
+    const auto back = structure_from_name(structure_name(a));
+    ASSERT_TRUE(back.has_value()) << structure_name(a);
+    EXPECT_EQ(*back, a);
+    for (StructureId s : kAllStructures) EXPECT_NE(s, a);
+    EXPECT_FALSE(structure_from_mode(structure_name(a)).has_value())
+        << "ablation variants are not paper-CLI modes";
+  }
+}
+
 TEST(Options, JsonPathSurfacesThroughBenchFlags) {
   auto args = kGoodArgs;
   args.push_back("--json");

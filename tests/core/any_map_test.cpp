@@ -44,6 +44,24 @@ TEST(AnyMap, UnregisteredCellsAreRejected) {
   EXPECT_FALSE(AnyMap::make(SchemeId::kEBR, StructureId::kNone).has_value());
 }
 
+// The trait-ablation variants are real registered cells (bench_ablation_*
+// routes through run_case / AnyMap), registered for every scheme even
+// though the grids never iterate them.
+TEST(AnyMap, AblationVariantCellsAreRegisteredAndFunctional) {
+  for (SchemeId s : kAllSchemes) {
+    for (StructureId d : scot::kAblationStructures) {
+      SCOPED_TRACE(cell_name(s, d));
+      auto map = AnyMap::make(s, d, small_options());
+      ASSERT_TRUE(map.has_value());
+      EXPECT_TRUE(map->insert(0, 7, 70));
+      EXPECT_TRUE(map->contains(0, 7));
+      EXPECT_FALSE(map->contains(0, 8));
+      EXPECT_TRUE(map->erase(0, 7));
+      EXPECT_FALSE(map->contains(0, 7));
+    }
+  }
+}
+
 TEST(AnyMap, ReportsItsIdentity) {
   auto map = AnyMap::make(SchemeId::kHLN, StructureId::kSkipList,
                           small_options());

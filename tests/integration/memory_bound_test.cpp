@@ -17,6 +17,16 @@ template <class Smr, class DS>
 std::int64_t churn_pending(unsigned threads, int iters, Key range) {
   auto cfg = test::small_config(threads);
   cfg.scan_threshold = 64;
+  // small_config's test default era_freq (8) advances EBR's epoch so fast
+  // that EBR reclaims almost as promptly as HP: its garbage plateau (one
+  // epoch window, era_freq x threads retirements) lands right at HP's
+  // limbo-threshold sawtooth cap (scan_threshold x threads), reducing the
+  // EbrKeepsMoreGarbage comparison below to sampling noise.  Slow the
+  // clock until the epoch window clearly dominates that cap — this is the
+  // direction of the paper's calibration too (era ticks are rarer than
+  // scans, §5).  HP ignores the knob entirely, so the Theorem-1 bounds are
+  // unaffected.
+  cfg.era_freq = 4 * cfg.scan_threshold;
   Smr smr(cfg);
   std::int64_t peak = 0;
   {
@@ -65,14 +75,32 @@ TEST(MemoryBound, HpTreePendingStaysWithinTheorem1Bound) {
   EXPECT_LE(peak, 2 * bound);
 }
 
+// Median peak over `runs` independent mini-runs; the garbage-count
+// comparison below is statistical, and a single shrunk run is too noisy.
+template <class Smr, class DS>
+std::int64_t median_peak(unsigned threads, int iters, Key range, int runs) {
+  std::vector<std::int64_t> peaks;
+  peaks.reserve(static_cast<std::size_t>(runs));
+  for (int i = 0; i < runs; ++i)
+    peaks.push_back(churn_pending<Smr, DS>(threads, iters, range));
+  std::sort(peaks.begin(), peaks.end());
+  return peaks[peaks.size() / 2];
+}
+
 TEST(MemoryBound, EbrKeepsMoreGarbageThanHpUnderSameChurn) {
-  const int iters = test::scaled_iters(60000);
-  const std::int64_t hp_peak =
-      churn_pending<HpDomain, HarrisList<Key, Val, HpDomain>>(4, iters, 64);
-  const std::int64_t ebr_peak =
-      churn_pending<EbrDomain, HarrisList<Key, Val, EbrDomain>>(4, iters, 64);
   // The paper's Figure 10 ordering: HP lowest, EBR highest.  On 2 cores the
-  // gap is narrower but the ordering is stable.
+  // gap is narrower but the ordering is stable — at full iterations.  At the
+  // default 10x smoke shrink a single run flaked ~1 in 5, so smoke mode
+  // shrinks this test less (4x) and compares medians of 3 mini-runs; the
+  // full-scale run stays a single comparison.
+  const bool smoke = test::smoke_mode();
+  const int iters = smoke ? test::scaled_iters(60000, /*divisor=*/4) : 60000;
+  const int runs = smoke ? 3 : 1;
+  const std::int64_t hp_peak =
+      median_peak<HpDomain, HarrisList<Key, Val, HpDomain>>(4, iters, 64, runs);
+  const std::int64_t ebr_peak =
+      median_peak<EbrDomain, HarrisList<Key, Val, EbrDomain>>(4, iters, 64,
+                                                              runs);
   EXPECT_GE(ebr_peak, hp_peak)
       << "EBR should never keep less garbage than HP under equal churn";
 }

@@ -1,10 +1,14 @@
-// Concurrent protect/retire/scan hammer for the fence-bearing schemes, run
-// with asymmetric fences ON and OFF against the same seed.  The writer
-// continuously swaps out and retires nodes while readers hold validated
-// protections; a protection the (asymmetric) scan fails to observe lets the
-// pool recycle a node a reader still dereferences, which the paired-payload
-// check catches — and which TSan reports as a plain-write/plain-read race,
-// making the TSan CI dimension (SCOT_ASYM=0/1) a second checker.
+// Concurrent begin_op/protect/retire/scan hammer for every reclaiming
+// scheme, run with asymmetric fences ON and OFF against the same seed.  The
+// writer continuously swaps out and retires nodes while readers open an
+// operation per access — so the era schemes' *activation* publication
+// (EBR's epoch reservation, IBR's interval, Hyaline's slot head) is
+// hammered as hard as the slot schemes' protect() — and then hold the
+// resulting protection; a reservation the (asymmetric) reclaimer side
+// fails to observe lets the pool recycle a node a reader still
+// dereferences, which the paired-payload check catches — and which TSan
+// reports as a plain-write/plain-read race, making the TSan CI dimension
+// (SCOT_ASYM=0/1) a second checker.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -27,9 +31,12 @@ constexpr unsigned kReaders = 3;
 template <class Smr>
 class AsymStressTest : public ::testing::Test {};
 
-using FenceBearingSchemes =
-    ::testing::Types<HpDomain, HpOptDomain, HeDomain, IbrDomain>;
-TYPED_TEST_SUITE(AsymStressTest, FenceBearingSchemes);
+// Slot schemes (protect-side publication) plus the era schemes
+// (activation-side publication); NR is omitted — it never reclaims, so the
+// recycle-detection invariant is vacuous there.
+using AsymSchemes = ::testing::Types<HpDomain, HpOptDomain, HeDomain,
+                                     IbrDomain, EbrDomain, HyalineDomain>;
+TYPED_TEST_SUITE(AsymStressTest, AsymSchemes);
 
 template <class Smr>
 void hammer(bool asym, std::uint64_t seed) {
@@ -65,14 +72,19 @@ void hammer(bool asym, std::uint64_t seed) {
       stop.store(true, std::memory_order_release);
       return;
     }
-    // Reader: validated protect, then check the paired payload.  While the
-    // protection is held the node must not be recycled, so the two tags
+    // Reader: a fresh operation per access (activation is on the hot
+    // path), protect, then check the paired payload.  While the
+    // reservation is held the node must not be recycled, so the two tags
     // must match; a recycle in flight tears them (and trips TSan).
+    // Restart-flag schemes (Hyaline) may invalidate the operation instead
+    // of protecting — honour the contract and skip the dereference.
     while (!stop.load(std::memory_order_acquire)) {
       const unsigned s = static_cast<unsigned>(rng.next_in(kSources));
       h.begin_op();
       ReclaimNode* p = h.protect(src[s], 0);
-      if (p != nullptr) {
+      if (!h.op_valid()) {
+        h.revalidate_op();
+      } else if (p != nullptr) {
         const auto* n = static_cast<const StressNode*>(p);
         const std::uint64_t a = n->tag1;
         const std::uint64_t b = n->tag2;
