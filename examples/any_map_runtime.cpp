@@ -56,22 +56,30 @@ int main(int argc, char** argv) {
               map->scheme_name(),
               scheme_info(scheme).robust ? "robust" : "not robust");
 
-  // Same workload as quickstart, selected entirely at runtime.
-  std::vector<std::thread> workers;
-  for (unsigned t = 0; t < kThreads; ++t) {
-    workers.emplace_back([&map, t] {
-      for (std::uint64_t i = 0; i < 10000; ++i) {
-        const std::uint64_t k = (i * 31 + t) % 512;
-        if (i % 3 == 0) {
-          map->erase(t, k);
-        } else {
-          map->insert(t, k, k);
+  // Same workload as quickstart, selected entirely at runtime.  Each worker
+  // opens a Session — an RAII membership in the scheme's dynamic handle
+  // registry — instead of being handed a fixed tid; threads may come and go
+  // for the life of the map (a second wave below reuses the same records).
+  auto wave = [&map](unsigned threads, unsigned rounds) {
+    std::vector<std::thread> workers;
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&map, t, rounds] {
+        auto session = map->session();  // joins; leaves at scope exit
+        for (std::uint64_t i = 0; i < rounds; ++i) {
+          const std::uint64_t k = (i * 31 + t) % 512;
+          if (i % 3 == 0) {
+            session.erase(k);
+          } else {
+            session.insert(k, k);
+          }
+          session.contains((k * 7) % 512);
         }
-        map->contains(t, (k * 7) % 512);
-      }
-    });
-  }
-  for (auto& w : workers) w.join();
+      });
+    }
+    for (auto& w : workers) w.join();
+  };
+  wave(kThreads, 10000);
+  wave(kThreads, 10000);  // fresh threads, recycled handle records
 
   std::printf("final size        = %zu\n", map->size_unsafe());
   std::printf("retired, unfreed  = %lld\n",
@@ -79,5 +87,7 @@ int main(int argc, char** argv) {
   std::printf("traversal restarts= %llu (recoveries %llu)\n",
               static_cast<unsigned long long>(map->restarts()),
               static_cast<unsigned long long>(map->recoveries()));
+  std::printf("handle records    = %zu (active now %u)\n",
+              map->total_handle_records(), map->active_handles());
   return 0;
 }

@@ -6,11 +6,12 @@
 // domain-wide count of retired-but-unreclaimed nodes every few milliseconds.
 //
 // The measured loop (`run_one_map`) is written against a *map-like* value:
-// tid-indexed insert/erase/contains plus the pending/restart telemetry —
-// exactly the surface of scot::AnyMap.  Every binary — the figure grids,
-// bench_cli, and the trait-ablation binaries (whose variants are registered
-// AnyMap cells since the ablation StructureIds landed) — reaches it through
-// the registry-driven run_case() in bench/runner.cpp.
+// per-thread sessions (`map.session()` joining the domain's dynamic handle
+// registry) plus the pending/restart telemetry — exactly the surface of
+// scot::AnyMap.  Every binary — the figure grids, bench_cli, and the
+// trait-ablation binaries (whose variants are registered AnyMap cells since
+// the ablation StructureIds landed) — reaches it through the
+// registry-driven run_case() in bench/runner.cpp.
 #pragma once
 
 #include <algorithm>
@@ -87,10 +88,11 @@ CaseResult run_one_map(MapLike& map, const CaseConfig& cfg,
     for (unsigned t = 0; t < cfg.threads; ++t) {
       ts.emplace_back([&, t] {
         if (cfg.pin_threads) pin_this_thread(t);
+        auto session = map.session();  // joins the domain for this worker
         Xoshiro256 rng(run_seed * 0x51ed2701 + t);
         while (inserted.load(std::memory_order_relaxed) < target) {
           const std::uint64_t k = rng.next_in(cfg.key_range);
-          if (map.insert(t, k, k)) {
+          if (session.insert(k, k)) {
             inserted.fetch_add(1, std::memory_order_relaxed);
           }
         }
@@ -116,6 +118,10 @@ CaseResult run_one_map(MapLike& map, const CaseConfig& cfg,
   for (unsigned t = 0; t < cfg.threads; ++t) {
     workers.emplace_back([&, t] {
       if (cfg.pin_threads) pin_this_thread(t);
+      // Session per worker: the handle is resolved once at join, so the
+      // measured loop pays no tid lookup at all (it used to pay a cached
+      // pointer-table index per op).
+      auto session = map.session();
       Xoshiro256 rng(run_seed * 0x9e3779b9 + 1000003ULL * t);
       while (!go.load(std::memory_order_acquire)) cpu_relax();
       std::uint64_t local = 0, nread = 0, nins = 0, ndel = 0;
@@ -133,13 +139,13 @@ CaseResult run_one_map(MapLike& map, const CaseConfig& cfg,
                  : rng.next_in(cfg.key_range);
         const auto roll = static_cast<int>(rng.next_in(100));
         if (roll < cfg.read_pct) {
-          map.contains(t, k);
+          session.contains(k);
           ++nread;
         } else if (roll < cfg.read_pct + cfg.insert_pct) {
-          map.insert(t, k, k);
+          session.insert(k, k);
           ++nins;
         } else {
-          map.erase(t, k);
+          session.erase(k);
           ++ndel;
         }
         ++local;

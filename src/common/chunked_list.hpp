@@ -1,0 +1,184 @@
+// Growable chunked containers — the antidote to fixed-capacity "time bomb"
+// arrays (libreclaim's rope.h warns about exactly this for deletion lists).
+//
+// Two shapes live here:
+//
+//  * `ChunkedList<T>` — a single-owner growable sequence built from
+//    fixed-size chunks.  Elements never move once pushed (stable addresses),
+//    push_back never invalidates anything, and clear() keeps the chunks so a
+//    reusable scratch buffer (the HPopt/HE/IBR reservation snapshots) is
+//    allocation-free after its first high-water pass.  Random-access
+//    iterators make std::sort / std::lower_bound / std::binary_search work
+//    directly on it.
+//
+//  * `AtomicChunkedArray<T>` — a lock-free, lazily materialized array with
+//    geometric chunk sizes.  Readers index it with two dependent loads and
+//    never take a lock; growth installs a chunk with one CAS (the loser
+//    frees its allocation).  Chunks are never deallocated or moved while the
+//    array lives, so a reference handed out once stays valid — the property
+//    the node pool's shard directory and any concurrently-scanned per-slot
+//    state need.  Capacity is geometric (first chunk 64, doubling), so the
+//    practical limit is the address space, not a tunable.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <iterator>
+#include <memory>
+#include <vector>
+
+namespace scot {
+
+template <class T>
+class ChunkedList {
+ public:
+  static constexpr std::size_t kChunkLog = 8;  // 256 elements per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkLog;
+  static constexpr std::size_t kChunkMask = kChunkSize - 1;
+
+  ChunkedList() = default;
+  ChunkedList(const ChunkedList&) = delete;
+  ChunkedList& operator=(const ChunkedList&) = delete;
+
+  void push_back(const T& v) {
+    const std::size_t chunk = size_ >> kChunkLog;
+    if (chunk == chunks_.size())
+      chunks_.push_back(std::make_unique<T[]>(kChunkSize));
+    chunks_[chunk][size_ & kChunkMask] = v;
+    ++size_;
+  }
+
+  T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return chunks_[i >> kChunkLog][i & kChunkMask];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return chunks_[i >> kChunkLog][i & kChunkMask];
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  // Keeps the chunks: the next fill up to the high-water mark is
+  // allocation-free.
+  void clear() noexcept { size_ = 0; }
+
+  // Random-access iterator over (list, index); cheap enough for the sorted
+  // snapshot queries the SMR scans run (tens of elements, two indirections
+  // per access).
+  class iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = T*;
+    using reference = T&;
+
+    iterator() = default;
+    iterator(ChunkedList* l, std::size_t i) : l_(l), i_(i) {}
+
+    reference operator*() const { return (*l_)[i_]; }
+    pointer operator->() const { return &(*l_)[i_]; }
+    reference operator[](difference_type d) const {
+      return (*l_)[i_ + static_cast<std::size_t>(d)];
+    }
+
+    iterator& operator++() { ++i_; return *this; }
+    iterator operator++(int) { iterator t = *this; ++i_; return t; }
+    iterator& operator--() { --i_; return *this; }
+    iterator operator--(int) { iterator t = *this; --i_; return t; }
+    iterator& operator+=(difference_type d) {
+      i_ = static_cast<std::size_t>(static_cast<difference_type>(i_) + d);
+      return *this;
+    }
+    iterator& operator-=(difference_type d) { return *this += -d; }
+    friend iterator operator+(iterator a, difference_type d) { return a += d; }
+    friend iterator operator+(difference_type d, iterator a) { return a += d; }
+    friend iterator operator-(iterator a, difference_type d) { return a -= d; }
+    friend difference_type operator-(iterator a, iterator b) {
+      return static_cast<difference_type>(a.i_) -
+             static_cast<difference_type>(b.i_);
+    }
+    friend bool operator==(iterator a, iterator b) { return a.i_ == b.i_; }
+    friend bool operator!=(iterator a, iterator b) { return a.i_ != b.i_; }
+    friend bool operator<(iterator a, iterator b) { return a.i_ < b.i_; }
+    friend bool operator>(iterator a, iterator b) { return a.i_ > b.i_; }
+    friend bool operator<=(iterator a, iterator b) { return a.i_ <= b.i_; }
+    friend bool operator>=(iterator a, iterator b) { return a.i_ >= b.i_; }
+
+   private:
+    ChunkedList* l_ = nullptr;
+    std::size_t i_ = 0;
+  };
+
+  iterator begin() noexcept { return iterator(this, 0); }
+  iterator end() noexcept { return iterator(this, size_); }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::size_t size_ = 0;
+};
+
+// Lock-free growable array: chunk c holds (64 << c) elements, covering
+// indices [64 * (2^c - 1), 64 * (2^(c+1) - 1)).  26 chunk slots cover ~4e9
+// elements — effectively unbounded for per-thread records.
+template <class T>
+class AtomicChunkedArray {
+ public:
+  static constexpr unsigned kFirstLog = 6;  // first chunk: 64 elements
+  static constexpr unsigned kMaxChunks = 26;
+
+  AtomicChunkedArray() = default;
+  AtomicChunkedArray(const AtomicChunkedArray&) = delete;
+  AtomicChunkedArray& operator=(const AtomicChunkedArray&) = delete;
+
+  ~AtomicChunkedArray() {
+    for (auto& c : chunks_) delete[] c.load(std::memory_order_relaxed);
+  }
+
+  // Lock-free: two dependent loads.  The element must have been ensure()d.
+  T& operator[](std::size_t i) const noexcept {
+    const auto [c, off] = locate(i);
+    T* chunk = chunks_[c].load(std::memory_order_acquire);
+    assert(chunk != nullptr && "index was never ensure()d");
+    return chunk[off];
+  }
+
+  // Makes every index in [0, i] addressable.  Thread-safe and lock-free:
+  // concurrent callers race to install a chunk with one CAS; the loser
+  // deletes its allocation.  Elements are value-initialized.
+  void ensure(std::size_t i) {
+    const auto [c, off] = locate(i);
+    (void)off;
+    for (unsigned k = 0; k <= c; ++k) {
+      if (chunks_[k].load(std::memory_order_acquire) != nullptr) continue;
+      T* fresh = new T[chunk_size(k)]();
+      T* expected = nullptr;
+      if (!chunks_[k].compare_exchange_strong(expected, fresh,
+                                              std::memory_order_release,
+                                              std::memory_order_acquire))
+        delete[] fresh;
+    }
+  }
+
+  static constexpr std::size_t chunk_size(unsigned c) noexcept {
+    return std::size_t{1} << (kFirstLog + c);
+  }
+
+ private:
+  static std::pair<unsigned, std::size_t> locate(std::size_t i) noexcept {
+    const std::size_t biased = (i >> kFirstLog) + 1;
+    const unsigned c = static_cast<unsigned>(std::bit_width(biased)) - 1;
+    assert(c < kMaxChunks);
+    const std::size_t off =
+        i - (((std::size_t{1} << c) - 1) << kFirstLog);
+    return {c, off};
+  }
+
+  std::atomic<T*> chunks_[kMaxChunks] = {};
+};
+
+}  // namespace scot

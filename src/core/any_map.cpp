@@ -26,43 +26,71 @@ static_assert(HyalineDomain::kRobust == scheme_info(SchemeId::kHLN).robust);
 
 template <class Smr, class DS>
 class TypedAnyMap final : public detail::AnyMapImpl {
+  using Handle = typename Smr::Handle;
+
  public:
   explicit TypedAnyMap(const AnyMapOptions& options)
-      : smr_(options.smr), ds_(make_ds(smr_, options)) {
-    // Handle table resolved once: the per-operation path must not pay the
-    // domain's bounds-checked handle() lookup on every call (the v1 typed
-    // loop hoisted the handle reference out of the hot loop; this is the
-    // type-erased equivalent).
-    handles_.reserve(options.smr.max_threads);
-    for (unsigned t = 0; t < options.smr.max_threads; ++t)
-      handles_.push_back(&smr_.handle(t));
-  }
+      : smr_(options.smr),
+        ds_(make_ds(smr_, options)),
+        handles_(options.smr.max_threads) {}
 
+  // --- deprecated tid surface ---------------------------------------------
+  // The per-operation path must not pay the shim's mutex on every call, so
+  // resolved handle pointers are cached per tid: one acquire load on the
+  // hot path, the join happens on first touch only.  (The v1 typed loop
+  // hoisted the handle reference out of the hot loop; this is the
+  // type-erased equivalent under lazy membership.)
   bool insert(unsigned tid, K key, V value) override {
-    return ds_->insert(*handles_[tid], key, value);
+    return ds_->insert(handle(tid), key, value);
   }
   bool erase(unsigned tid, K key) override {
-    return ds_->erase(*handles_[tid], key);
+    return ds_->erase(handle(tid), key);
   }
   bool contains(unsigned tid, K key) override {
-    return ds_->contains(*handles_[tid], key);
+    return ds_->contains(handle(tid), key);
   }
   std::optional<V> get(unsigned tid, K key) override {
-    return ds_->get(*handles_[tid], key);
+    return ds_->get(handle(tid), key);
   }
+
+  // --- session surface ----------------------------------------------------
+  void* join_handle() override { return &smr_.join(); }
+  void leave_handle(void* h) override { smr_.leave(*static_cast<Handle*>(h)); }
+  bool insert_with(void* h, K key, V value) override {
+    return ds_->insert(*static_cast<Handle*>(h), key, value);
+  }
+  bool erase_with(void* h, K key) override {
+    return ds_->erase(*static_cast<Handle*>(h), key);
+  }
+  bool contains_with(void* h, K key) override {
+    return ds_->contains(*static_cast<Handle*>(h), key);
+  }
+  std::optional<V> get_with(void* h, K key) override {
+    return ds_->get(*static_cast<Handle*>(h), key);
+  }
+
   std::size_t size_unsafe() const override { return ds_->size_unsafe(); }
   std::int64_t pending_nodes() const override { return smr_.pending_nodes(); }
+  // Table 2 telemetry: walk every registry record ever created — the
+  // ds_* counters are cumulative across claim/release reuse, so departed
+  // sessions' restarts are not lost.
   std::uint64_t restarts() const override {
     std::uint64_t n = 0;
-    for (unsigned t = 0; t < smr_.config().max_threads; ++t)
-      n += smr_.handle(t).ds_restarts;
+    for (const auto* r = smr_.registry().head(); r != nullptr;
+         r = r->next_record())
+      n += r->handle.ds_restarts;
     return n;
   }
   std::uint64_t recoveries() const override {
     std::uint64_t n = 0;
-    for (unsigned t = 0; t < smr_.config().max_threads; ++t)
-      n += smr_.handle(t).ds_recoveries;
+    for (const auto* r = smr_.registry().head(); r != nullptr;
+         r = r->next_record())
+      n += r->handle.ds_recoveries;
     return n;
+  }
+  unsigned active_handles() const override { return smr_.active_handles(); }
+  std::size_t total_handle_records() const override {
+    return smr_.total_handle_records();
   }
 
  private:
@@ -75,11 +103,21 @@ class TypedAnyMap final : public detail::AnyMapImpl {
     }
   }
 
+  Handle& handle(unsigned tid) {
+    auto& slot = handles_.at(tid);
+    Handle* h = slot.load(std::memory_order_acquire);
+    if (h == nullptr) {
+      h = &smr_.handle(tid);  // shim: joins + pins once, mutex on this path
+      slot.store(h, std::memory_order_release);
+    }
+    return *h;
+  }
+
   // Declaration order is destruction order in reverse: the structure's
   // teardown deallocates through the domain, so the domain must outlive it.
   mutable Smr smr_;
   std::unique_ptr<DS> ds_;
-  std::vector<typename Smr::Handle*> handles_;
+  std::vector<std::atomic<Handle*>> handles_;
 };
 
 template <class Smr, class DS>

@@ -9,15 +9,19 @@
 // runs, protect() included, so the PR 3 asymmetric-fence fast path is
 // untouched (acceptance-checked by bench_micro_smr against BENCH_pr3.json).
 //
-// Threading contract: identical to the typed structures.  `tid` selects the
-// per-thread handle of the underlying domain; a given tid must only ever be
-// used by one thread at a time, and tids are dense in
-// [0, options.smr.max_threads).
+// Threading contract.  The preferred surface is `AnyMap::Session`: each
+// worker thread opens a session (`map.session()`), which joins the
+// underlying domain's dynamic handle registry, and operates through it —
+// no tid, no fixed thread cap, threads may come and go for the life of the
+// map.  The tid-indexed calls remain as the deprecated fixed-capacity
+// surface: `tid` selects a lazily joined, permanently pinned handle and
+// must be dense in [0, options.smr.max_threads).
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <utility>
 
 #include "core/registry.hpp"
 #include "smr/registry.hpp"
@@ -41,10 +45,21 @@ class AnyMapImpl {
   virtual bool erase(unsigned tid, std::uint64_t key) = 0;
   virtual bool contains(unsigned tid, std::uint64_t key) = 0;
   virtual std::optional<std::uint64_t> get(unsigned tid, std::uint64_t key) = 0;
+  // Session surface: a handle is joined/left through the type-erased
+  // boundary as an opaque pointer; the *_with calls skip the tid lookup
+  // entirely (the session holds the resolved handle).
+  virtual void* join_handle() = 0;
+  virtual void leave_handle(void* h) = 0;
+  virtual bool insert_with(void* h, std::uint64_t key, std::uint64_t value) = 0;
+  virtual bool erase_with(void* h, std::uint64_t key) = 0;
+  virtual bool contains_with(void* h, std::uint64_t key) = 0;
+  virtual std::optional<std::uint64_t> get_with(void* h, std::uint64_t key) = 0;
   virtual std::size_t size_unsafe() const = 0;
   virtual std::int64_t pending_nodes() const = 0;
   virtual std::uint64_t restarts() const = 0;
   virtual std::uint64_t recoveries() const = 0;
+  virtual unsigned active_handles() const = 0;
+  virtual std::size_t total_handle_records() const = 0;
 };
 
 }  // namespace detail
@@ -64,7 +79,65 @@ class AnyMap {
   AnyMap(AnyMap&&) = default;
   AnyMap& operator=(AnyMap&&) = default;
 
+  // One thread's membership in the map's reclamation domain: joins the
+  // dynamic handle registry on construction, leaves (donating any pending
+  // retires for adoption) on destruction.  Move-only; use one Session per
+  // thread and do not share it.  This replaces the tid calls:
+  //
+  //   auto s = map.session();
+  //   s.insert(k, v);  s.contains(k);  ...
+  //
+  // The session pins no capacity: thousands of short-lived workers may
+  // open and close sessions against one map.
+  class Session {
+   public:
+    Session() = default;
+    Session(Session&& o) noexcept
+        : impl_(std::exchange(o.impl_, nullptr)), h_(o.h_) {}
+    Session& operator=(Session&& o) noexcept {
+      if (this != &o) {
+        reset();
+        impl_ = std::exchange(o.impl_, nullptr);
+        h_ = o.h_;
+      }
+      return *this;
+    }
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+    ~Session() { reset(); }
+
+    bool insert(Key key, Value value = {}) {
+      return impl_->insert_with(h_, key, value);
+    }
+    bool erase(Key key) { return impl_->erase_with(h_, key); }
+    bool contains(Key key) { return impl_->contains_with(h_, key); }
+    std::optional<Value> get(Key key) { return impl_->get_with(h_, key); }
+
+    explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+    // Leaves the domain early (idempotent).
+    void reset() noexcept {
+      if (impl_ != nullptr) {
+        impl_->leave_handle(h_);
+        impl_ = nullptr;
+      }
+    }
+
+   private:
+    friend class AnyMap;
+    explicit Session(detail::AnyMapImpl* impl)
+        : impl_(impl), h_(impl->join_handle()) {}
+
+    detail::AnyMapImpl* impl_ = nullptr;
+    void* h_ = nullptr;  // the domain's Handle, type-erased
+  };
+
+  // Opens a session for the calling thread.  The map must outlive it.
+  Session session() { return Session(impl_.get()); }
+
   // --- operations (one virtual hop each; `tid` picks the handle) ----------
+  // DEPRECATED fixed-capacity surface: lazily joins one pinned handle per
+  // tid in [0, max_threads).  Prefer session().
   bool insert(unsigned tid, Key key, Value value = {}) {
     return impl_->insert(tid, key, value);
   }
@@ -79,9 +152,16 @@ class AnyMap {
   std::size_t size_unsafe() const { return impl_->size_unsafe(); }
   // Domain-wide retired-but-unreclaimed gauge (the paper's Figures 10-12).
   std::int64_t pending_nodes() const { return impl_->pending_nodes(); }
-  // Table 2 telemetry, summed over all handles.
+  // Table 2 telemetry, summed over all handle records ever created (the
+  // counters are cumulative across join/leave reuse).
   std::uint64_t restarts() const { return impl_->restarts(); }
   std::uint64_t recoveries() const { return impl_->recoveries(); }
+  // Handle-registry gauges: sessions currently open (plus pinned tid
+  // handles), and the high-water record count.
+  unsigned active_handles() const { return impl_->active_handles(); }
+  std::size_t total_handle_records() const {
+    return impl_->total_handle_records();
+  }
 
   SchemeId scheme() const { return scheme_; }
   StructureId structure() const { return structure_; }

@@ -23,11 +23,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
 #include <type_traits>
-#include <vector>
 
 #include "common/align.hpp"
+#include "common/chunked_list.hpp"
 
 namespace scot {
 
@@ -56,7 +55,15 @@ class WfHelpRegistry {
     std::uint64_t local_tag = 0;
   };
 
-  explicit WfHelpRegistry(unsigned max_threads) : records_(max_threads) {}
+  // Records are indexed by SMR handle tid (= registry record index), which
+  // can exceed the configured max_threads under dynamic join/leave churn.
+  // The array therefore grows on demand: `max_threads` only seeds the
+  // initial population.
+  explicit WfHelpRegistry(unsigned max_threads) {
+    const unsigned n = max_threads == 0 ? 1 : max_threads;
+    records_.ensure(n - 1);
+    count_.store(n, std::memory_order_release);
+  }
 
   static constexpr std::uint64_t input_tag(std::uint64_t version) noexcept {
     return (version << 1) | 1;
@@ -74,7 +81,7 @@ class WfHelpRegistry {
   // Paper's Request_Help: publish the key, then the input tag (the order
   // matters: helpers read the tag, then the key, then re-check the tag).
   std::uint64_t request_help(unsigned tid, const Key& key) {
-    Record& r = *records_[tid];
+    Record& r = record(tid);
     r.help_key.store(key, std::memory_order_release);
     const std::uint64_t tag = input_tag(r.local_tag);
     r.help_tag.store(tag, std::memory_order_seq_cst);
@@ -86,13 +93,18 @@ class WfHelpRegistry {
   // fills the out-parameters when some thread needs help.
   bool poll_for_work(unsigned tid, Key* out_key, std::uint64_t* out_tag,
                      unsigned* out_tid) {
-    Record& r = *records_[tid];
+    Record& r = record(tid);
     if (--r.next_check != 0) return false;
     r.next_check = kDelay;
-    const unsigned cand = r.next_tid;
-    r.next_tid = (cand + 1) % static_cast<unsigned>(records_.size());
+    // Round-robin over the records published so far.  A record appended
+    // after this load is simply picked up on a later lap; wait-freedom only
+    // needs every *requester* to be polled eventually, and a requester's
+    // record exists before its request_help() returns.
+    const unsigned n = size();
+    const unsigned cand = r.next_tid < n ? r.next_tid : 0;
+    r.next_tid = (cand + 1) % n;
     if (cand == tid) return false;
-    Record& c = *records_[cand];
+    Record& c = records_[cand];
     const std::uint64_t tag = c.help_tag.load(std::memory_order_seq_cst);
     if (!is_input(tag)) return false;
     const Key key = c.help_key.load(std::memory_order_acquire);
@@ -106,7 +118,7 @@ class WfHelpRegistry {
   // Slow_Search's per-iteration completion check (Figure 7, L34-37).
   WfPoll poll_status(unsigned help_tid, std::uint64_t tag) const {
     const std::uint64_t r =
-        records_[help_tid]->help_tag.load(std::memory_order_acquire);
+        records_[help_tid].help_tag.load(std::memory_order_acquire);
     if (r == tag) return WfPoll::kContinue;
     if (is_input(r)) return WfPoll::kStale;
     return output_value(r) ? WfPoll::kDoneTrue : WfPoll::kDoneFalse;
@@ -115,7 +127,7 @@ class WfHelpRegistry {
   // Publish a result (Figure 7, L41).  At most one publication per tag
   // version can succeed.  Returns the final result for this tag.
   bool publish_result(unsigned help_tid, std::uint64_t tag, bool found) {
-    Record& r = *records_[help_tid];
+    Record& r = records_[help_tid];
     std::uint64_t expected = tag;
     if (r.help_tag.compare_exchange_strong(expected, output_tag(found),
                                            std::memory_order_seq_cst,
@@ -128,22 +140,29 @@ class WfHelpRegistry {
     return output_value(expected);
   }
 
-  Record& record(unsigned tid) { return *records_[tid]; }
-  unsigned size() const { return static_cast<unsigned>(records_.size()); }
+  // Grows the array to cover `tid` if needed (idempotent, lock-free) and
+  // returns the record.  Chunks are never moved, so returned references
+  // stay valid forever.
+  Record& record(unsigned tid) {
+    if (tid >= size()) grow_to(tid + 1);
+    return records_[tid];
+  }
+  unsigned size() const {
+    return count_.load(std::memory_order_acquire);
+  }
 
  private:
-  struct RecordVec {
-    explicit RecordVec(unsigned n) : v(n) {
-      for (auto& p : v) p = std::make_unique<Record>();
+  void grow_to(unsigned n) {
+    records_.ensure(n - 1);
+    unsigned cur = count_.load(std::memory_order_relaxed);
+    while (cur < n && !count_.compare_exchange_weak(
+                          cur, n, std::memory_order_release,
+                          std::memory_order_relaxed)) {
     }
-    std::unique_ptr<Record>& operator[](unsigned i) { return v[i]; }
-    const std::unique_ptr<Record>& operator[](unsigned i) const {
-      return v[i];
-    }
-    std::size_t size() const { return v.size(); }
-    std::vector<std::unique_ptr<Record>> v;
-  };
-  RecordVec records_;
+  }
+
+  AtomicChunkedArray<Record> records_;
+  std::atomic<unsigned> count_{0};
 };
 
 }  // namespace scot

@@ -11,18 +11,22 @@
 //   * the type-erased scot::AnyMap facade with runtime scheme and
 //     structure selection (core/any_map.hpp; link the `scot_any` library).
 //
-// Typed quick start:
+// Typed quick start (per-thread membership is dynamic: scoped_handle()
+// joins the domain's handle registry and leaves at scope exit):
 //
 //   scot::SmrConfig cfg;   cfg.max_threads = 4;
 //   scot::HpDomain smr(cfg);
 //   scot::HarrisList<uint64_t, uint64_t, scot::HpDomain> list(smr);
-//   list.insert(smr.handle(0), 7, 700);
+//   auto h = scot::scoped_handle(smr);
+//   list.insert(*h, 7, 700);
 //
-// Runtime-selected quick start:
+// Runtime-selected quick start (Session = scoped_handle through the
+// type-erased facade):
 //
 //   auto map = scot::AnyMap::make(scot::SchemeId::kHLN,
 //                                 scot::StructureId::kSkipList);
-//   map->insert(/*tid=*/0, 7, 700);
+//   auto s = map->session();
+//   s.insert(7, 700);
 //
 // See DESIGN.md §6 for guard lifetimes, Protected<T> invariants, and the
 // registry extension recipe.

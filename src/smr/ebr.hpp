@@ -11,16 +11,20 @@
 // retire, so any thread whose published reservation is > R entered after the
 // unlink and cannot hold a reference.  Hence: free a retired node once
 // `retire_epoch < min(active reservations)`.
+//
+// Membership is dynamic (see nr.hpp for the reference walkthrough): the
+// reservation lives inside the Handle, scans walk the live handle registry,
+// and leave() donates whatever a final scan could not reclaim to the
+// domain's orphan list for adoption by the next retirer.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
-#include <vector>
 
 #include "common/align.hpp"
 #include "common/asymfence.hpp"
 #include "smr/handle_core.hpp"
+#include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
 #include "smr/smr_config.hpp"
 
@@ -50,14 +54,14 @@ class EbrDomain {
       const std::uint64_t e = dom_->clock_.load(std::memory_order_acquire);
       const asymfence::Path fences = dom_->fence_path_;
       if (fences == asymfence::Path::kClassic) {
-        dom_->res_[tid_]->store(e, std::memory_order_seq_cst);
+        reservation_.store(e, std::memory_order_seq_cst);
       } else {
-        dom_->res_[tid_]->store(e, std::memory_order_release);
+        reservation_.store(e, std::memory_order_release);
         asymfence::light_barrier(fences);
       }
     }
     void end_op() noexcept {
-      dom_->res_[tid_]->store(kIdle, std::memory_order_release);
+      reservation_.store(kIdle, std::memory_order_release);
     }
 
     // `Src` is std::atomic<P> or StableAtomic<P> (pool-recycled link words).
@@ -75,6 +79,7 @@ class EbrDomain {
       n->debug_state = kNodeRetired;
       n->retire_era = dom_->clock_.load(std::memory_order_acquire);
       limbo_.push(n);
+      if (!dom_->orphans_.empty()) adopt_orphans(dom_->orphans_, limbo_);
       dom_->counters_.on_retire(dom_->cfg_.track_stats);
       if (++tick_ >= dom_->cfg_.era_freq) {
         tick_ = 0;
@@ -114,6 +119,11 @@ class EbrDomain {
 
    private:
     friend class EbrDomain;
+    // Published epoch reservation, read by every scan.  Lives inside the
+    // handle (each registry record is kFalseSharingRange-aligned), so the
+    // reservation array grows with the registry instead of being sized by
+    // max_threads.
+    std::atomic<std::uint64_t> reservation_{kIdle};
     LimboList limbo_;
     unsigned tick_ = 0;
   };
@@ -121,17 +131,43 @@ class EbrDomain {
   explicit EbrDomain(SmrConfig cfg = {})
       : cfg_(cfg),
         pool_(cfg.max_threads),
-        res_(cfg.max_threads),
-        fence_path_(asymfence::resolve(cfg.asymmetric_fences)) {
-    for (auto& r : res_) r->store(kIdle, std::memory_order_relaxed);
-    handles_.reserve(cfg_.max_threads);
-    for (unsigned t = 0; t < cfg_.max_threads; ++t)
-      handles_.push_back(std::make_unique<Handle>(this, t));
-  }
+        fence_path_(asymfence::resolve(cfg.asymmetric_fences)),
+        shim_(cfg.max_threads) {}
 
   ~EbrDomain() { drain_all(); }
 
-  Handle& handle(unsigned tid) { return *handles_.at(tid); }
+  // --- dynamic membership (see nr.hpp for the reference walkthrough) ------
+  Handle& join() {
+    auto* rec =
+        registry_.acquire([this](unsigned idx) { return Handle(this, idx); });
+    rec->handle.registry_record_ = rec;
+    pool_.ensure_shards(rec->index + 1);
+    return rec->handle;
+  }
+
+  // Contract: no operation in flight (the reservation is idle).  A final
+  // scan reclaims what it can; the rest is donated for adoption by the
+  // next retirer on any live handle.
+  void leave(Handle& h) {
+    assert(h.reservation_.load(std::memory_order_relaxed) == kIdle &&
+           "leave() with an operation in flight");
+    if (h.limbo_.count > 0) {
+      h.scan();
+      donate_limbo(h.limbo_, orphans_);
+    }
+    registry_.release(record_of(h));
+  }
+
+  unsigned active_handles() const noexcept { return registry_.active(); }
+  std::size_t total_handle_records() const noexcept {
+    return registry_.total_records();
+  }
+  const HandleRegistry<Handle>& registry() const noexcept { return registry_; }
+
+  // DEPRECATED: fixed-capacity tid-indexed access (joins once per tid and
+  // pins the record forever).  New code should use scoped_handle(domain).
+  Handle& handle(unsigned tid) { return shim_.get(*this, tid); }
+
   const SmrConfig& config() const noexcept { return cfg_; }
   NodePool& pool() noexcept { return pool_; }
   std::int64_t pending_nodes() const noexcept {
@@ -143,10 +179,17 @@ class EbrDomain {
   }
   asymfence::Path fence_path() const noexcept { return fence_path_; }
 
+  // Walks the live registry (not a fixed handles_ vector): records of
+  // departed threads hold an idle reservation, so no active-bit filtering
+  // is needed.  Callers on the asymmetric path must issue the heavy
+  // barrier first; the registry head is (re)read seq_cst after it, which
+  // is what makes late joiners visible (DESIGN.md §7).
   std::uint64_t min_reservation() const noexcept {
     std::uint64_t m = kIdle;
-    for (const auto& r : res_) {
-      const std::uint64_t v = r->load(std::memory_order_acquire);
+    for (const auto* r = registry_.head(); r != nullptr;
+         r = r->next_record()) {
+      const std::uint64_t v =
+          r->handle.reservation_.load(std::memory_order_acquire);
       if (v < m) m = v;
     }
     return m;
@@ -155,17 +198,30 @@ class EbrDomain {
  private:
   friend class Handle;
 
-  // Destructor-time cleanup: no threads are active, free everything.
+  using Record = HandleRegistry<Handle>::Record;
+  static Record* record_of(Handle& h) noexcept {
+    return static_cast<Record*>(h.registry_record_);
+  }
+
+  // Destructor-time cleanup: no threads are active, free everything —
+  // every record's limbo list plus the orphan mailbox.
   void drain_all() {
     std::uint64_t freed = 0;
-    for (auto& h : handles_) {
-      ReclaimNode* n = h->limbo_.take();
+    for (auto* r = registry_.head(); r != nullptr; r = r->next_record()) {
+      ReclaimNode* n = r->handle.limbo_.take();
       while (n != nullptr) {
         ReclaimNode* next = n->smr_next;
-        pool_.free(h->tid(), n, n->alloc_size);
+        pool_.free(r->index, n, n->alloc_size);
         ++freed;
         n = next;
       }
+    }
+    ReclaimNode* n = orphans_.take_all();
+    while (n != nullptr) {
+      ReclaimNode* next = n->smr_next;
+      pool_.free(0, n, n->alloc_size);
+      ++freed;
+      n = next;
     }
     counters_.on_free(freed, cfg_.track_stats);
   }
@@ -174,9 +230,10 @@ class EbrDomain {
   NodePool pool_;
   SmrCounters counters_;
   std::atomic<std::uint64_t> clock_{1};
-  std::vector<Padded<std::atomic<std::uint64_t>>> res_;
   asymfence::Path fence_path_;
-  std::vector<std::unique_ptr<Handle>> handles_;
+  HandleRegistry<Handle> registry_;
+  OrphanList orphans_;
+  TidHandleShim<Handle> shim_;
 };
 
 }  // namespace scot

@@ -22,6 +22,12 @@
 // path (including the PR 3 asymmetric-fence publication) is byte-identical
 // to v1.  The v1 calls keep working through HandleCore — v2 does not fork
 // the schemes, it renames their call sites.
+//
+// Obtaining the Handle a TraversalGuard wraps: new code should use
+// `auto h = scoped_handle(domain)` (smr/handle_registry.hpp) — RAII
+// join/leave against the dynamic handle registry — and construct guards
+// from `*h`.  The tid-indexed `domain.handle(tid)` spelling still works but
+// pins a registry record forever (deprecated shim).
 #pragma once
 
 #include <cassert>

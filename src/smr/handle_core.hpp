@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "smr/guard.hpp"
+#include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
 #include "smr/reclaim_node.hpp"
 
@@ -35,6 +36,29 @@ struct LimboList {
     return h;
   }
 };
+
+// Donates a limbo list's whole chain to the domain's orphan mailbox (called
+// by leave() for whatever a final scan could not reclaim) and resets the
+// list.  The walk to find the tail is O(n), but leave() is rare and the
+// list is bounded by the scan threshold plus still-protected stragglers.
+inline void donate_limbo(LimboList& limbo, OrphanList& orphans) noexcept {
+  if (limbo.count == 0) return;
+  ReclaimNode* last = limbo.head;
+  while (last->smr_next != nullptr) last = last->smr_next;
+  orphans.donate(limbo.head, last);
+  limbo.take();
+}
+
+// Adopts every orphaned retire into `limbo` (the limbo-list schemes' side of
+// the handoff; Hyaline splices into its batch instead).
+inline void adopt_orphans(OrphanList& orphans, LimboList& limbo) noexcept {
+  ReclaimNode* n = orphans.take_all();
+  while (n != nullptr) {
+    ReclaimNode* next = n->smr_next;
+    limbo.push(n);
+    n = next;
+  }
+}
 
 // Derived must provide:
 //   Domain*  dom_;            (set by constructor)
@@ -92,9 +116,16 @@ class HandleCore {
 
   // --- data-structure statistics (Table 2 of the paper) -------------------
   // Incremented by the data structures, summed by the harness.  Plain fields:
-  // each handle is single-threaded.
+  // each handle is single-threaded.  Deliberately NOT reset on record reuse:
+  // they are cumulative domain telemetry, exactly as they were when handles
+  // lived for the whole domain lifetime.
   std::uint64_t ds_restarts = 0;    // full traversal restarts
   std::uint64_t ds_recoveries = 0;  // §3.2.1 recovery-optimization escapes
+
+  // Back-pointer to this handle's HandleRegistry record, set by the
+  // domain's join().  Opaque here (the record type depends on the concrete
+  // Handle); domains cast it back in leave().
+  void* registry_record_ = nullptr;
 
  protected:
   Derived* derived() noexcept { return static_cast<Derived*>(this); }

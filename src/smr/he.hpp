@@ -8,6 +8,10 @@
 // once no published era intersects its [birth, retire] lifetime.  Compared to
 // HP this replaces the per-node publication fence with (amortized) one fence
 // per era change.
+//
+// Membership is dynamic (see nr.hpp): the era slots live inside the Handle,
+// scans walk the live registry, and leave() clears the slots, scans, and
+// donates the leftover limbo to the domain's orphan list.
 #pragma once
 
 #include <algorithm>
@@ -15,11 +19,12 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
-#include <vector>
 
 #include "common/align.hpp"
 #include "common/asymfence.hpp"
+#include "common/chunked_list.hpp"
 #include "smr/handle_core.hpp"
+#include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
 #include "smr/smr_config.hpp"
 
@@ -35,9 +40,11 @@ class HeDomain {
    public:
     using Base = HandleCore<HeDomain, Handle>;
     using Base::retire;  // typed retire(Protected<T>) — API v2
-    Handle(HeDomain* dom, unsigned tid) : Base(dom, tid) {
-      snapshot_.reserve(static_cast<std::size_t>(dom->cfg_.max_threads) *
-                        dom->cfg_.slots_per_thread);
+    Handle(HeDomain* dom, unsigned tid)
+        : Base(dom, tid),
+          slots_(new std::atomic<std::uint64_t>[dom->cfg_.slots_per_thread]) {
+      for (unsigned i = 0; i < dom->cfg_.slots_per_thread; ++i)
+        slots_[i].store(kIdleEra, std::memory_order_relaxed);
     }
 
     // HE has no eager activation store: an operation becomes visible to
@@ -54,7 +61,7 @@ class HeDomain {
         const unsigned idx =
             static_cast<unsigned>(__builtin_ctz(used_mask_));
         used_mask_ &= used_mask_ - 1;
-        slot(idx).store(kIdleEra, std::memory_order_release);
+        slots_[idx].store(kIdleEra, std::memory_order_release);
       }
     }
 
@@ -69,7 +76,7 @@ class HeDomain {
     // `Src` is std::atomic<P> or StableAtomic<P>.
     template <class Src, class P = typename Src::value_type>
     P protect(const Src& src, unsigned idx) noexcept {
-      std::uint64_t prev = slot(idx).load(std::memory_order_relaxed);
+      std::uint64_t prev = slots_[idx].load(std::memory_order_relaxed);
       const asymfence::Path fences = dom_->fence_path_;
       for (;;) {
         P v = src.load(std::memory_order_acquire);
@@ -79,9 +86,9 @@ class HeDomain {
           return v;
         }
         if (fences == asymfence::Path::kClassic) {
-          slot(idx).store(e, std::memory_order_seq_cst);
+          slots_[idx].store(e, std::memory_order_seq_cst);
         } else {
-          slot(idx).store(e, std::memory_order_release);
+          slots_[idx].store(e, std::memory_order_release);
           asymfence::light_barrier(fences);
         }
         prev = e;
@@ -94,9 +101,9 @@ class HeDomain {
       // including the immortal anchor this is used for.
       const std::uint64_t e = dom_->clock_.load(std::memory_order_acquire);
       if (dom_->fence_path_ == asymfence::Path::kClassic) {
-        slot(idx).store(e, std::memory_order_seq_cst);
+        slots_[idx].store(e, std::memory_order_seq_cst);
       } else {
-        slot(idx).store(e, std::memory_order_release);
+        slots_[idx].store(e, std::memory_order_release);
         asymfence::light_barrier(dom_->fence_path_);
       }
       used_mask_ |= 1u << idx;
@@ -104,8 +111,8 @@ class HeDomain {
 
     void dup(unsigned i, unsigned j) noexcept {
       assert(i < j && "SCOT requires ascending-index dup (paper §3.2)");
-      slot(j).store(slot(i).load(std::memory_order_relaxed),
-                    std::memory_order_release);
+      slots_[j].store(slots_[i].load(std::memory_order_relaxed),
+                      std::memory_order_release);
       used_mask_ |= 1u << j;
     }
 
@@ -116,6 +123,7 @@ class HeDomain {
       n->debug_state = kNodeRetired;
       n->retire_era = dom_->clock_.load(std::memory_order_acquire);
       limbo_.push(n);
+      if (!dom_->orphans_.empty()) adopt_orphans(dom_->orphans_, limbo_);
       dom_->counters_.on_retire(dom_->cfg_.track_stats);
       era_tick();
       if (limbo_.count >= dom_->cfg_.scan_threshold) scan();
@@ -130,9 +138,11 @@ class HeDomain {
       // Surface in-flight era publications before reading the slots; a
       // publication the barrier does not surface belongs to a reader whose
       // validating re-read is ordered after every unlink in this batch.
+      // The registry head is read after the barrier, so the same argument
+      // covers records of late-joining threads (DESIGN.md §7).
       if (dom_->fence_path_ != asymfence::Path::kClassic)
         asymfence::heavy_barrier(dom_->fence_path_);
-      // Reservation snapshot (sorted) — one pass over the global slot array
+      // Reservation snapshot (sorted) — one pass over the live registry
       // per scan instead of one per retired node.
       snapshot_.clear();
       dom_->collect_eras(snapshot_);
@@ -159,7 +169,7 @@ class HeDomain {
 
     // True if some published era lies within [birth, retire].
     bool lifetime_reserved(std::uint64_t birth,
-                           std::uint64_t retire) const noexcept {
+                           std::uint64_t retire) noexcept {
       auto it = std::lower_bound(snapshot_.begin(), snapshot_.end(), birth);
       return it != snapshot_.end() && *it <= retire;
     }
@@ -171,33 +181,62 @@ class HeDomain {
       }
     }
 
-    std::atomic<std::uint64_t>& slot(unsigned idx) noexcept {
-      return dom_->slot(tid_, idx);
+    std::atomic<std::uint64_t>& slot_ref(unsigned idx) noexcept {
+      assert(idx < dom_->cfg_.slots_per_thread);
+      return slots_[idx];
     }
 
+    // Per-thread era slots; sized by cfg.slots_per_thread at handle
+    // construction, reused across join/leave cycles.
+    std::unique_ptr<std::atomic<std::uint64_t>[]> slots_;
     LimboList limbo_;
     std::uint32_t used_mask_ = 0;
     unsigned tick_ = 0;
-    std::vector<std::uint64_t> snapshot_;
+    // Scan scratch, reused across scans; grows without bound instead of
+    // being pre-reserved for max_threads * slots_per_thread.
+    ChunkedList<std::uint64_t> snapshot_;
   };
 
   explicit HeDomain(SmrConfig cfg = {})
       : cfg_(cfg),
         pool_(cfg.max_threads),
-        stride_((cfg.slots_per_thread + kSlotsPerLine - 1) / kSlotsPerLine *
-                kSlotsPerLine),
-        slots_(static_cast<std::size_t>(stride_) * cfg.max_threads),
-        fence_path_(asymfence::resolve(cfg.asymmetric_fences)) {
+        fence_path_(asymfence::resolve(cfg.asymmetric_fences)),
+        shim_(cfg.max_threads) {
     assert(cfg_.slots_per_thread <= 32);
-    for (auto& s : slots_) s.store(kIdleEra, std::memory_order_relaxed);
-    handles_.reserve(cfg_.max_threads);
-    for (unsigned t = 0; t < cfg_.max_threads; ++t)
-      handles_.push_back(std::make_unique<Handle>(this, t));
   }
 
   ~HeDomain() { drain_all(); }
 
-  Handle& handle(unsigned tid) { return *handles_.at(tid); }
+  // --- dynamic membership (see nr.hpp for the reference walkthrough) ------
+  Handle& join() {
+    auto* rec =
+        registry_.acquire([this](unsigned idx) { return Handle(this, idx); });
+    rec->handle.registry_record_ = rec;
+    pool_.ensure_shards(rec->index + 1);
+    return rec->handle;
+  }
+
+  // Contract: no operation in flight.  Clears the era slots, runs a final
+  // scan, and donates what remains to the orphan list.
+  void leave(Handle& h) {
+    h.end_op();
+    if (h.limbo_.count > 0) {
+      h.scan();
+      donate_limbo(h.limbo_, orphans_);
+    }
+    registry_.release(record_of(h));
+  }
+
+  unsigned active_handles() const noexcept { return registry_.active(); }
+  std::size_t total_handle_records() const noexcept {
+    return registry_.total_records();
+  }
+  const HandleRegistry<Handle>& registry() const noexcept { return registry_; }
+
+  // DEPRECATED: fixed-capacity tid-indexed access (joins once per tid and
+  // pins the record forever).  New code should use scoped_handle(domain).
+  Handle& handle(unsigned tid) { return shim_.get(*this, tid); }
+
   const SmrConfig& config() const noexcept { return cfg_; }
   NodePool& pool() noexcept { return pool_; }
   std::int64_t pending_nodes() const noexcept {
@@ -209,17 +248,22 @@ class HeDomain {
   }
   asymfence::Path fence_path() const noexcept { return fence_path_; }
 
-  std::atomic<std::uint64_t>& slot(unsigned tid, unsigned idx) noexcept {
-    assert(idx < cfg_.slots_per_thread);
-    return slots_[static_cast<std::size_t>(tid) * stride_ + idx];
+  // Test/introspection accessor for a tid-indexed slot (routes through the
+  // deprecated shim, joining the tid if needed).
+  std::atomic<std::uint64_t>& slot(unsigned tid, unsigned idx) {
+    return handle(tid).slot_ref(idx);
   }
 
-  void collect_eras(std::vector<std::uint64_t>& out) const {
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+  // Walks the live registry; records of departed threads hold idle slots.
+  // `Out` is any push_back-able container (ChunkedList in scans,
+  // std::vector in tests).
+  template <class Out>
+  void collect_eras(Out& out) const {
+    for (const auto* r = registry_.head(); r != nullptr;
+         r = r->next_record()) {
       for (unsigned i = 0; i < cfg_.slots_per_thread; ++i) {
         const std::uint64_t e =
-            slots_[static_cast<std::size_t>(t) * stride_ + i].load(
-                std::memory_order_acquire);
+            r->handle.slots_[i].load(std::memory_order_acquire);
         if (e != kIdleEra) out.push_back(e);
       }
     }
@@ -227,19 +271,29 @@ class HeDomain {
 
  private:
   friend class Handle;
-  static constexpr unsigned kSlotsPerLine = static_cast<unsigned>(
-      kFalseSharingRange / sizeof(std::atomic<std::uint64_t>));
+
+  using Record = HandleRegistry<Handle>::Record;
+  static Record* record_of(Handle& h) noexcept {
+    return static_cast<Record*>(h.registry_record_);
+  }
 
   void drain_all() {
     std::uint64_t freed = 0;
-    for (auto& h : handles_) {
-      ReclaimNode* n = h->limbo_.take();
+    for (auto* r = registry_.head(); r != nullptr; r = r->next_record()) {
+      ReclaimNode* n = r->handle.limbo_.take();
       while (n != nullptr) {
         ReclaimNode* next = n->smr_next;
-        pool_.free(h->tid(), n, n->alloc_size);
+        pool_.free(r->index, n, n->alloc_size);
         ++freed;
         n = next;
       }
+    }
+    ReclaimNode* n = orphans_.take_all();
+    while (n != nullptr) {
+      ReclaimNode* next = n->smr_next;
+      pool_.free(0, n, n->alloc_size);
+      ++freed;
+      n = next;
     }
     counters_.on_free(freed, cfg_.track_stats);
   }
@@ -248,10 +302,10 @@ class HeDomain {
   NodePool pool_;
   SmrCounters counters_;
   std::atomic<std::uint64_t> clock_{1};
-  unsigned stride_;
-  std::vector<std::atomic<std::uint64_t>> slots_;
   asymfence::Path fence_path_;
-  std::vector<std::unique_ptr<Handle>> handles_;
+  HandleRegistry<Handle> registry_;
+  OrphanList orphans_;
+  TidHandleShim<Handle> shim_;
 };
 
 }  // namespace scot

@@ -14,6 +14,11 @@
 // until it is stable.  dup(i, j) copies slot i to slot j; SCOT requires all
 // dup calls to copy toward *higher* indices because scans read slots in
 // ascending order (see DESIGN.md §4).
+//
+// Membership is dynamic (see nr.hpp): the hazard slots live inside the
+// Handle (one cache-line-isolated block per registry record), scans walk
+// the live registry, and leave() clears the slots, scans, and donates the
+// leftover limbo to the domain's orphan list.
 #pragma once
 
 #include <algorithm>
@@ -21,11 +26,12 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
-#include <vector>
 
 #include "common/align.hpp"
 #include "common/asymfence.hpp"
+#include "common/chunked_list.hpp"
 #include "smr/handle_core.hpp"
+#include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
 #include "smr/smr_config.hpp"
 
@@ -40,14 +46,11 @@ class HazardPointerDomain {
   class Handle : public HandleCore<HazardPointerDomain, Handle> {
    public:
     using Base = HandleCore<HazardPointerDomain, Handle>;
-    Handle(HazardPointerDomain* dom, unsigned tid) : Base(dom, tid) {
-      if constexpr (kSnapshotScan) {
-        // Worst case is every slot of every thread occupied; reserving it
-        // up front keeps collect_hazards() allocation-free after the first
-        // scan of each handle.
-        snapshot_.reserve(static_cast<std::size_t>(dom->cfg_.max_threads) *
-                          dom->cfg_.slots_per_thread);
-      }
+    Handle(HazardPointerDomain* dom, unsigned tid)
+        : Base(dom, tid),
+          slots_(new std::atomic<ReclaimNode*>[dom->cfg_.slots_per_thread]) {
+      for (unsigned i = 0; i < dom->cfg_.slots_per_thread; ++i)
+        slots_[i].store(nullptr, std::memory_order_relaxed);
     }
 
    protected:
@@ -69,7 +72,7 @@ class HazardPointerDomain {
         const unsigned idx =
             static_cast<unsigned>(__builtin_ctz(used_mask_));
         used_mask_ &= used_mask_ - 1;
-        slot(idx).store(nullptr, std::memory_order_release);
+        slots_[idx].store(nullptr, std::memory_order_release);
       }
     }
 
@@ -85,7 +88,7 @@ class HazardPointerDomain {
           // re-read still sees `cur`, the publication preceded any
           // subsequent unlink of the link we loaded from, so a retirement
           // scan must observe the slot.
-          slot(idx).store(smr_raw(cur), std::memory_order_seq_cst);
+          slots_[idx].store(smr_raw(cur), std::memory_order_seq_cst);
           P again = src.load(std::memory_order_seq_cst);
           if (again == cur) break;
           cur = again;
@@ -96,7 +99,7 @@ class HazardPointerDomain {
           // the heavy barrier every scan issues before reading the slots
           // (DESIGN.md §5).  On the fallback path light_barrier() is a real
           // seq_cst fence, making the pair equivalent to the classic code.
-          slot(idx).store(smr_raw(cur), std::memory_order_release);
+          slots_[idx].store(smr_raw(cur), std::memory_order_release);
           asymfence::light_barrier(fences);
           P again = src.load(std::memory_order_acquire);
           if (again == cur) break;
@@ -112,9 +115,9 @@ class HazardPointerDomain {
     template <class T>
     void publish(T* p, unsigned idx) noexcept {
       if (dom_->fence_path_ == asymfence::Path::kClassic) {
-        slot(idx).store(smr_raw(p), std::memory_order_seq_cst);
+        slots_[idx].store(smr_raw(p), std::memory_order_seq_cst);
       } else {
-        slot(idx).store(smr_raw(p), std::memory_order_release);
+        slots_[idx].store(smr_raw(p), std::memory_order_release);
         asymfence::light_barrier(dom_->fence_path_);
       }
       used_mask_ |= 1u << idx;
@@ -122,8 +125,8 @@ class HazardPointerDomain {
 
     void dup(unsigned i, unsigned j) noexcept {
       assert(i < j && "SCOT requires ascending-index dup (paper §3.2)");
-      slot(j).store(slot(i).load(std::memory_order_relaxed),
-                    std::memory_order_release);
+      slots_[j].store(slots_[i].load(std::memory_order_relaxed),
+                      std::memory_order_release);
       used_mask_ |= 1u << j;
     }
 
@@ -133,6 +136,7 @@ class HazardPointerDomain {
     void retire(ReclaimNode* n) {
       n->debug_state = kNodeRetired;
       limbo_.push(n);
+      if (!dom_->orphans_.empty()) adopt_orphans(dom_->orphans_, limbo_);
       dom_->counters_.on_retire(dom_->cfg_.track_stats);
       if (limbo_.count >= dom_->cfg_.scan_threshold) scan();
     }
@@ -144,6 +148,8 @@ class HazardPointerDomain {
       // limbo list was unlinked (and retired) before this point, so a
       // reader publication the barrier does not surface belongs to a
       // validating re-read that is ordered after the unlink and retries.
+      // The registry head is read after the barrier, so the same argument
+      // covers records of late-joining threads (DESIGN.md §7).
       if (dom_->fence_path_ != asymfence::Path::kClassic)
         asymfence::heavy_barrier(dom_->fence_path_);
       std::uint64_t freed = 0;
@@ -183,32 +189,62 @@ class HazardPointerDomain {
    private:
     friend class HazardPointerDomain;
 
-    std::atomic<ReclaimNode*>& slot(unsigned idx) noexcept {
-      return dom_->slot(tid_, idx);
+    std::atomic<ReclaimNode*>& slot_ref(unsigned idx) noexcept {
+      assert(idx < dom_->cfg_.slots_per_thread);
+      return slots_[idx];
     }
 
+    // Per-thread hazard slots (the record's alignment isolates them from
+    // other threads' lines); sized by cfg.slots_per_thread at handle
+    // construction, reused across join/leave cycles.
+    std::unique_ptr<std::atomic<ReclaimNode*>[]> slots_;
     LimboList limbo_;
     std::uint32_t used_mask_ = 0;
-    std::vector<ReclaimNode*> snapshot_;  // HPopt scratch, reused across scans
+    // HPopt scratch, reused across scans; grows without bound instead of
+    // being pre-reserved for max_threads * slots_per_thread.
+    ChunkedList<ReclaimNode*> snapshot_;
   };
 
   explicit HazardPointerDomain(SmrConfig cfg = {})
       : cfg_(cfg),
         pool_(cfg.max_threads),
-        stride_((cfg.slots_per_thread + kSlotsPerLine - 1) / kSlotsPerLine *
-                kSlotsPerLine),
-        slots_(static_cast<std::size_t>(stride_) * cfg.max_threads),
-        fence_path_(asymfence::resolve(cfg.asymmetric_fences)) {
+        fence_path_(asymfence::resolve(cfg.asymmetric_fences)),
+        shim_(cfg.max_threads) {
     assert(cfg_.slots_per_thread <= 32);
-    for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
-    handles_.reserve(cfg_.max_threads);
-    for (unsigned t = 0; t < cfg_.max_threads; ++t)
-      handles_.push_back(std::make_unique<Handle>(this, t));
   }
 
   ~HazardPointerDomain() { drain_all(); }
 
-  Handle& handle(unsigned tid) { return *handles_.at(tid); }
+  // --- dynamic membership (see nr.hpp for the reference walkthrough) ------
+  Handle& join() {
+    auto* rec =
+        registry_.acquire([this](unsigned idx) { return Handle(this, idx); });
+    rec->handle.registry_record_ = rec;
+    pool_.ensure_shards(rec->index + 1);
+    return rec->handle;
+  }
+
+  // Contract: no operation in flight.  Clears the hazard slots, runs a
+  // final scan, and donates what remains to the orphan list.
+  void leave(Handle& h) {
+    h.end_op();
+    if (h.limbo_.count > 0) {
+      h.scan();
+      donate_limbo(h.limbo_, orphans_);
+    }
+    registry_.release(record_of(h));
+  }
+
+  unsigned active_handles() const noexcept { return registry_.active(); }
+  std::size_t total_handle_records() const noexcept {
+    return registry_.total_records();
+  }
+  const HandleRegistry<Handle>& registry() const noexcept { return registry_; }
+
+  // DEPRECATED: fixed-capacity tid-indexed access (joins once per tid and
+  // pins the record forever).  New code should use scoped_handle(domain).
+  Handle& handle(unsigned tid) { return shim_.get(*this, tid); }
+
   const SmrConfig& config() const noexcept { return cfg_; }
   NodePool& pool() noexcept { return pool_; }
   std::int64_t pending_nodes() const noexcept {
@@ -217,34 +253,34 @@ class HazardPointerDomain {
   const SmrCounters& counters() const noexcept { return counters_; }
   asymfence::Path fence_path() const noexcept { return fence_path_; }
 
-  std::atomic<ReclaimNode*>& slot(unsigned tid, unsigned idx) noexcept {
-    assert(idx < cfg_.slots_per_thread);
-    return slots_[static_cast<std::size_t>(tid) * stride_ + idx];
+  // Test/introspection accessor for a tid-indexed slot (routes through the
+  // deprecated shim, joining the tid if needed).
+  std::atomic<ReclaimNode*>& slot(unsigned tid, unsigned idx) {
+    return handle(tid).slot_ref(idx);
   }
 
   bool is_hazard(const ReclaimNode* n) const noexcept {
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+    for (const auto* r = registry_.head(); r != nullptr;
+         r = r->next_record()) {
       for (unsigned i = 0; i < cfg_.slots_per_thread; ++i) {
-        if (slots_[static_cast<std::size_t>(t) * stride_ + i].load(
-                std::memory_order_acquire) == n)
+        if (r->handle.slots_[i].load(std::memory_order_acquire) == n)
           return true;
       }
     }
     return false;
   }
 
-  void collect_hazards(std::vector<ReclaimNode*>& out) const {
-    // Ascending slot order; paired with ascending-index dup this guarantees
-    // a protected node is seen in at least one slot (paper §3.2).  The
-    // scan's cost is the acquire load per slot, which is irreducible
-    // without making readers maintain a per-line occupancy summary (a
-    // write on the protect hot path — not worth it); the Handle reserves
-    // `snapshot_` for the worst case instead, so HPopt scans allocate at
-    // most once per handle.
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+  // Ascending slot order within each record; paired with ascending-index
+  // dup this guarantees a protected node is seen in at least one slot
+  // (paper §3.2).  Walks the live registry — records of departed threads
+  // hold cleared slots and cost one load each.  `Out` is any push_back-able
+  // container (ChunkedList in scans, std::vector in tests).
+  template <class Out>
+  void collect_hazards(Out& out) const {
+    for (const auto* r = registry_.head(); r != nullptr;
+         r = r->next_record()) {
       for (unsigned i = 0; i < cfg_.slots_per_thread; ++i) {
-        ReclaimNode* v = slots_[static_cast<std::size_t>(t) * stride_ + i]
-                             .load(std::memory_order_acquire);
+        ReclaimNode* v = r->handle.slots_[i].load(std::memory_order_acquire);
         if (v != nullptr) out.push_back(v);
       }
     }
@@ -252,19 +288,29 @@ class HazardPointerDomain {
 
  private:
   friend class Handle;
-  static constexpr unsigned kSlotsPerLine =
-      static_cast<unsigned>(kFalseSharingRange / sizeof(std::atomic<void*>));
+
+  using Record = typename HandleRegistry<Handle>::Record;
+  static Record* record_of(Handle& h) noexcept {
+    return static_cast<Record*>(h.registry_record_);
+  }
 
   void drain_all() {
     std::uint64_t freed = 0;
-    for (auto& h : handles_) {
-      ReclaimNode* n = h->limbo_.take();
+    for (auto* r = registry_.head(); r != nullptr; r = r->next_record()) {
+      ReclaimNode* n = r->handle.limbo_.take();
       while (n != nullptr) {
         ReclaimNode* next = n->smr_next;
-        pool_.free(h->tid(), n, n->alloc_size);
+        pool_.free(r->index, n, n->alloc_size);
         ++freed;
         n = next;
       }
+    }
+    ReclaimNode* n = orphans_.take_all();
+    while (n != nullptr) {
+      ReclaimNode* next = n->smr_next;
+      pool_.free(0, n, n->alloc_size);
+      ++freed;
+      n = next;
     }
     counters_.on_free(freed, cfg_.track_stats);
   }
@@ -272,10 +318,10 @@ class HazardPointerDomain {
   SmrConfig cfg_;
   NodePool pool_;
   SmrCounters counters_;
-  unsigned stride_;
-  std::vector<std::atomic<ReclaimNode*>> slots_;
   asymfence::Path fence_path_;
-  std::vector<std::unique_ptr<Handle>> handles_;
+  HandleRegistry<Handle> registry_;
+  OrphanList orphans_;
+  TidHandleShim<Handle> shim_;
 };
 
 using HpDomain = HazardPointerDomain<false>;

@@ -2,16 +2,17 @@
 // reclamation with distributed reference counting.
 //
 // Mechanics reproduced here:
-//  * One reservation *slot* per thread: { head of a retirement list, era }.
+//  * One reservation *slot* per handle: { head of a retirement list, era }.
 //    enter() publishes the current era and activates the slot; leave()
 //    detaches the slot's accumulated list and decrements the reference
 //    count of every batch that appears on it.
-//  * retire() accumulates nodes into a per-thread *batch* of
-//    `max_threads + 1` nodes.  A full batch is handed to every active slot
-//    whose era could allow the owning thread to hold a reference
-//    (slot era >= batch min birth era — the "1S" filter); each insertion
-//    uses a distinct member node of the batch as the list entry, which is
-//    why the batch must have at least as many nodes as there are slots.
+//  * retire() accumulates nodes into a per-thread *batch*.  A full batch is
+//    handed to every active slot whose era could allow the owning thread to
+//    hold a reference (slot era >= batch min birth era — the "1S" filter);
+//    each insertion uses a distinct member node of the batch as the list
+//    entry, which is why the batch must have at least as many nodes as
+//    there are slots.  With dynamic membership the required batch size is
+//    `max(batch_capacity, live records + 1)` — it adapts as threads join.
 //  * The batch's reference counter starts with a creator guard so that
 //    concurrent leave() decrements cannot hit zero before all insertions
 //    are accounted; whichever thread moves the counter to zero frees the
@@ -23,17 +24,23 @@
 //    via op_valid().  The type-stable pool guarantees this birth-era read
 //    is safe even if the node was concurrently reclaimed (see
 //    reclaim_node.hpp).
+//
+// Membership is dynamic (see nr.hpp): the reservation slot lives inside the
+// Handle, seal_batch() walks the live registry, and leave() donates the
+// unsealed batch to the domain's orphan list — the natural Hyaline handoff,
+// since sealed batches are already owned by "whoever drops the last
+// reference".
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <memory>
-#include <vector>
 
 #include "common/align.hpp"
 #include "common/asymfence.hpp"
 #include "smr/handle_core.hpp"
+#include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
 #include "smr/smr_config.hpp"
 
@@ -57,9 +64,8 @@ class HyalineDomain {
     Handle(HyalineDomain* dom, unsigned tid) : Base(dom, tid) {}
 
     void begin_op() noexcept {
-      auto& s = *dom_->slots_[tid_];
       era_local_ = dom_->clock_.load(std::memory_order_acquire);
-      s.era.store(era_local_, std::memory_order_release);
+      slot_.era.store(era_local_, std::memory_order_release);
       // Activation must be visible to retirers before this operation
       // performs any shared loads (StoreLoad).  Classic: a seq_cst head
       // store.  Asymmetric: release store + compiler barrier; seal_batch()
@@ -78,22 +84,21 @@ class HyalineDomain {
       // other thread writes it, and a thread always observes its own last
       // store — but the exchange makes that reasoning unnecessary.)
       const std::uintptr_t prev =
-          s.head.exchange(kInactive, std::memory_order_relaxed);
+          slot_.head.exchange(kInactive, std::memory_order_relaxed);
       assert(prev == kInactive &&
              "begin_op on a slot the previous operation left active");
 #endif
       if (fences == asymfence::Path::kClassic) {
-        s.head.store(kActiveEmpty, std::memory_order_seq_cst);
+        slot_.head.store(kActiveEmpty, std::memory_order_seq_cst);
       } else {
-        s.head.store(kActiveEmpty, std::memory_order_release);
+        slot_.head.store(kActiveEmpty, std::memory_order_release);
         asymfence::light_barrier(fences);
       }
     }
 
     void end_op() noexcept {
-      auto& s = *dom_->slots_[tid_];
       const std::uintptr_t prev =
-          s.head.exchange(kInactive, std::memory_order_acq_rel);
+          slot_.head.exchange(kInactive, std::memory_order_acq_rel);
       drain(prev);
     }
 
@@ -124,15 +129,11 @@ class HyalineDomain {
       n->debug_state = kNodeRetired;
       n->retire_era = dom_->clock_.load(std::memory_order_acquire);
       n->batch = nullptr;
-      const std::uint64_t birth = birth_era_of(n);
-      if (batch_count_ == 0 || birth < batch_min_birth_)
-        batch_min_birth_ = birth;
-      n->smr_next = batch_head_;
-      batch_head_ = n;
-      ++batch_count_;
+      push_to_batch(n);
+      if (!dom_->orphans_.empty()) adopt_orphans();
       dom_->counters_.on_retire(dom_->cfg_.track_stats);
       era_tick();
-      if (batch_count_ >= dom_->batch_capacity_) seal_batch();
+      if (batch_count_ >= required_batch()) seal_batch();
     }
 
     std::uint64_t on_alloc_era() noexcept {
@@ -154,6 +155,37 @@ class HyalineDomain {
       }
     }
 
+    void push_to_batch(ReclaimNode* n) noexcept {
+      const std::uint64_t birth = birth_era_of(n);
+      if (batch_count_ == 0 || birth < batch_min_birth_)
+        batch_min_birth_ = birth;
+      n->smr_next = batch_head_;
+      batch_head_ = n;
+      ++batch_count_;
+    }
+
+    // Splices every orphaned retire (a departed thread's unsealed batch)
+    // into this thread's batch, restoring the min-birth bound.
+    void adopt_orphans() noexcept {
+      ReclaimNode* n = dom_->orphans_.take_all();
+      while (n != nullptr) {
+        ReclaimNode* next = n->smr_next;
+        push_to_batch(n);
+        n = next;
+      }
+    }
+
+    // A batch needs one member node per live registry record (each
+    // insertion consumes a distinct node as the list entry) plus one, so
+    // the threshold adapts to membership: total_records() is incremented
+    // before a record is published, so this bound can only over-estimate,
+    // never under-estimate, the chain seal_batch() will walk.
+    unsigned required_batch() const noexcept {
+      const auto total =
+          static_cast<unsigned>(dom_->registry_.total_records());
+      return std::max(dom_->batch_capacity_, total + 1);
+    }
+
     // Hands the accumulated batch to all active, era-overlapping slots.
     void seal_batch() {
       // Surface in-flight activations before reading the slots: every node
@@ -163,6 +195,20 @@ class HyalineDomain {
       // node of this batch, and skipping its slot is safe (DESIGN.md §5).
       if (dom_->fence_path_ != asymfence::Path::kClassic)
         asymfence::heavy_barrier(dom_->fence_path_);
+      // Snapshot the registry AFTER the barrier.  Records pushed after
+      // this read are skippable by the same argument as an un-surfaced
+      // activation; records in the snapshot cover every thread that could
+      // hold a reference into this batch (DESIGN.md §7).
+      auto* snap = dom_->registry_.head();
+      unsigned len = 0;
+      for (auto* r = snap; r != nullptr; r = r->next_record()) ++len;
+      if (batch_count_ < len + 1) {
+        // The registry grew between the threshold check and the snapshot:
+        // not enough member nodes to give every slot a distinct entry.
+        // Keep accumulating; the next retire re-checks against the larger
+        // required_batch().
+        return;
+      }
       auto* bh = new BatchHandle;
       bh->refs.store(kGuard, std::memory_order_relaxed);
       bh->first = batch_head_;
@@ -172,9 +218,9 @@ class HyalineDomain {
 
       std::int64_t inserted = 0;
       ReclaimNode* entry = batch_head_;
-      const unsigned nslots = dom_->cfg_.max_threads;
-      for (unsigned s = 0; s < nslots && entry != nullptr; ++s) {
-        auto& slot = *dom_->slots_[s];
+      for (auto* r = snap; r != nullptr && entry != nullptr;
+           r = r->next_record()) {
+        auto& slot = r->handle.slot_;
         std::uintptr_t h = slot.head.load(std::memory_order_acquire);
         for (;;) {
           if (h == kInactive) break;
@@ -229,6 +275,14 @@ class HyalineDomain {
       delete bh;
     }
 
+    struct SlotData {
+      std::atomic<std::uintptr_t> head{kInactive};
+      std::atomic<std::uint64_t> era{0};
+    };
+
+    // Reservation slot (moved from the domain's per-tid array; the
+    // record's alignment isolates it from other threads' lines).
+    SlotData slot_;
     std::uint64_t era_local_ = 0;
     bool restart_ = false;
     unsigned tick_ = 0;
@@ -242,18 +296,48 @@ class HyalineDomain {
         pool_(cfg.max_threads),
         batch_capacity_(cfg.batch_capacity != 0 ? cfg.batch_capacity
                                                 : cfg.max_threads + 1),
-        slots_(cfg.max_threads),
-        fence_path_(asymfence::resolve(cfg.asymmetric_fences)) {
-    assert(batch_capacity_ >= cfg_.max_threads + 1 &&
-           "a batch needs one member node per reservation slot");
-    handles_.reserve(cfg_.max_threads);
-    for (unsigned t = 0; t < cfg_.max_threads; ++t)
-      handles_.push_back(std::make_unique<Handle>(this, t));
-  }
+        fence_path_(asymfence::resolve(cfg.asymmetric_fences)),
+        shim_(cfg.max_threads) {}
 
   ~HyalineDomain() { drain_all(); }
 
-  Handle& handle(unsigned tid) { return *handles_.at(tid); }
+  // --- dynamic membership (see nr.hpp for the reference walkthrough) ------
+  Handle& join() {
+    auto* rec =
+        registry_.acquire([this](unsigned idx) { return Handle(this, idx); });
+    rec->handle.registry_record_ = rec;
+    pool_.ensure_shards(rec->index + 1);
+    return rec->handle;
+  }
+
+  // Contract: no operation in flight (the slot is inactive and drained).
+  // The unsealed batch is donated whole — this is Hyaline's natural
+  // handoff: sealed batches already belong to "whoever drops the last
+  // reference", so only the private accumulating batch needs a new owner.
+  void leave(Handle& h) {
+    assert(h.slot_.head.load(std::memory_order_relaxed) == kInactive &&
+           "leave() with an operation in flight");
+    if (h.batch_count_ > 0) {
+      ReclaimNode* last = h.batch_head_;
+      while (last->smr_next != nullptr) last = last->smr_next;
+      orphans_.donate(h.batch_head_, last);
+      h.batch_head_ = nullptr;
+      h.batch_count_ = 0;
+      h.batch_min_birth_ = 0;
+    }
+    registry_.release(record_of(h));
+  }
+
+  unsigned active_handles() const noexcept { return registry_.active(); }
+  std::size_t total_handle_records() const noexcept {
+    return registry_.total_records();
+  }
+  const HandleRegistry<Handle>& registry() const noexcept { return registry_; }
+
+  // DEPRECATED: fixed-capacity tid-indexed access (joins once per tid and
+  // pins the record forever).  New code should use scoped_handle(domain).
+  Handle& handle(unsigned tid) { return shim_.get(*this, tid); }
+
   const SmrConfig& config() const noexcept { return cfg_; }
   NodePool& pool() noexcept { return pool_; }
   std::int64_t pending_nodes() const noexcept {
@@ -263,6 +347,8 @@ class HyalineDomain {
   std::uint64_t era() const noexcept {
     return clock_.load(std::memory_order_acquire);
   }
+  // The configured batch-size floor; the effective threshold also adapts
+  // upward to the live registry size (see Handle::required_batch).
   unsigned batch_capacity() const noexcept { return batch_capacity_; }
   asymfence::Path fence_path() const noexcept { return fence_path_; }
 
@@ -273,25 +359,32 @@ class HyalineDomain {
   static constexpr std::uintptr_t kInactive = 1;
   static constexpr std::int64_t kGuard = std::int64_t{1} << 62;
 
-  struct SlotData {
-    std::atomic<std::uintptr_t> head{kInactive};
-    std::atomic<std::uint64_t> era{0};
-  };
+  using Record = HandleRegistry<Handle>::Record;
+  static Record* record_of(Handle& h) noexcept {
+    return static_cast<Record*>(h.registry_record_);
+  }
 
   // Destructor-time cleanup: all threads quiescent, slots inactive and
-  // drained, so only unsealed per-thread batches remain.
+  // drained, so only unsealed per-record batches and orphans remain.
   void drain_all() {
     std::uint64_t freed = 0;
-    for (auto& h : handles_) {
-      ReclaimNode* n = h->batch_head_;
+    for (auto* r = registry_.head(); r != nullptr; r = r->next_record()) {
+      ReclaimNode* n = r->handle.batch_head_;
       while (n != nullptr) {
         ReclaimNode* next = n->smr_next;
-        pool_.free(h->tid(), n, n->alloc_size);
+        pool_.free(r->index, n, n->alloc_size);
         ++freed;
         n = next;
       }
-      h->batch_head_ = nullptr;
-      h->batch_count_ = 0;
+      r->handle.batch_head_ = nullptr;
+      r->handle.batch_count_ = 0;
+    }
+    ReclaimNode* n = orphans_.take_all();
+    while (n != nullptr) {
+      ReclaimNode* next = n->smr_next;
+      pool_.free(0, n, n->alloc_size);
+      ++freed;
+      n = next;
     }
     counters_.on_free(freed, cfg_.track_stats);
   }
@@ -301,9 +394,10 @@ class HyalineDomain {
   SmrCounters counters_;
   std::atomic<std::uint64_t> clock_{1};
   unsigned batch_capacity_;
-  std::vector<Padded<SlotData>> slots_;
   asymfence::Path fence_path_;
-  std::vector<std::unique_ptr<Handle>> handles_;
+  HandleRegistry<Handle> registry_;
+  OrphanList orphans_;
+  TidHandleShim<Handle> shim_;
 };
 
 }  // namespace scot

@@ -17,17 +17,22 @@
 // reclaimer cannot see means the operation's shared loads are all ordered
 // after the scan's barrier, so it cannot reach the nodes being freed
 // (DESIGN.md §5, IBR tear note).
+//
+// Membership is dynamic (see nr.hpp): the interval lives inside the Handle,
+// scans walk the live registry, and leave() idles the interval, scans, and
+// donates the leftover limbo to the domain's orphan list.
 #pragma once
 
 #include <atomic>
+#include <cassert>
 #include <cstdint>
-#include <memory>
 #include <utility>
-#include <vector>
 
 #include "common/align.hpp"
 #include "common/asymfence.hpp"
+#include "common/chunked_list.hpp"
 #include "smr/handle_core.hpp"
+#include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
 #include "smr/smr_config.hpp"
 
@@ -55,19 +60,19 @@ class IbrDomain {
       // interval can never lag the era this operation validates against.
       const std::uint64_t e = dom_->clock_.load(std::memory_order_acquire);
       upper_cache_ = e;
-      (*dom_->res_[tid_]).lower.store(e, std::memory_order_release);
+      res_lower_.store(e, std::memory_order_release);
       const asymfence::Path fences = dom_->fence_path_;
       if (fences == asymfence::Path::kClassic) {
-        (*dom_->res_[tid_]).upper.store(e, std::memory_order_seq_cst);
+        res_upper_.store(e, std::memory_order_seq_cst);
       } else {
-        (*dom_->res_[tid_]).upper.store(e, std::memory_order_release);
+        res_upper_.store(e, std::memory_order_release);
         asymfence::light_barrier(fences);
       }
     }
 
     void end_op() noexcept {
-      (*dom_->res_[tid_]).upper.store(kIdle, std::memory_order_release);
-      (*dom_->res_[tid_]).lower.store(kIdle, std::memory_order_release);
+      res_upper_.store(kIdle, std::memory_order_release);
+      res_lower_.store(kIdle, std::memory_order_release);
     }
 
     // The common case (era unchanged since the last bump) is fence-free
@@ -83,9 +88,9 @@ class IbrDomain {
         const std::uint64_t e = dom_->clock_.load(std::memory_order_seq_cst);
         if (e == upper_cache_) return v;
         if (fences == asymfence::Path::kClassic) {
-          (*dom_->res_[tid_]).upper.store(e, std::memory_order_seq_cst);
+          res_upper_.store(e, std::memory_order_seq_cst);
         } else {
-          (*dom_->res_[tid_]).upper.store(e, std::memory_order_release);
+          res_upper_.store(e, std::memory_order_release);
           asymfence::light_barrier(fences);
         }
         upper_cache_ = e;
@@ -102,6 +107,7 @@ class IbrDomain {
       n->debug_state = kNodeRetired;
       n->retire_era = dom_->clock_.load(std::memory_order_acquire);
       limbo_.push(n);
+      if (!dom_->orphans_.empty()) adopt_orphans(dom_->orphans_, limbo_);
       dom_->counters_.on_retire(dom_->cfg_.track_stats);
       era_tick();
       if (limbo_.count >= dom_->cfg_.scan_threshold) scan();
@@ -113,6 +119,9 @@ class IbrDomain {
     }
 
     void scan() {
+      // Heavy barrier before the snapshot; the registry head is read after
+      // it, so records of late-joining threads are covered by the same
+      // argument (DESIGN.md §7).
       if (dom_->fence_path_ != asymfence::Path::kClassic)
         asymfence::heavy_barrier(dom_->fence_path_);
       snapshot_.clear();
@@ -138,8 +147,9 @@ class IbrDomain {
     friend class IbrDomain;
 
     bool lifetime_reserved(std::uint64_t birth,
-                           std::uint64_t retire) const noexcept {
-      for (const auto& [lo, hi] : snapshot_) {
+                           std::uint64_t retire) noexcept {
+      for (std::size_t i = 0; i < snapshot_.size(); ++i) {
+        const auto& [lo, hi] = snapshot_[i];
         if (birth <= hi && retire >= lo) return true;
       }
       return false;
@@ -152,30 +162,56 @@ class IbrDomain {
       }
     }
 
-
+    // Published interval (moved from the domain's per-tid array; the
+    // record's alignment isolates it).
+    std::atomic<std::uint64_t> res_lower_{kIdle};
+    std::atomic<std::uint64_t> res_upper_{kIdle};
     LimboList limbo_;
     std::uint64_t upper_cache_ = kIdle;
     unsigned tick_ = 0;
-    std::vector<std::pair<std::uint64_t, std::uint64_t>> snapshot_;
+    // Scan scratch, reused across scans; grows with the registry.
+    ChunkedList<std::pair<std::uint64_t, std::uint64_t>> snapshot_;
   };
 
   explicit IbrDomain(SmrConfig cfg = {})
       : cfg_(cfg),
         pool_(cfg.max_threads),
-        res_(cfg.max_threads),
-        fence_path_(asymfence::resolve(cfg.asymmetric_fences)) {
-    for (auto& r : res_) {
-      r->lower.store(kIdle, std::memory_order_relaxed);
-      r->upper.store(kIdle, std::memory_order_relaxed);
-    }
-    handles_.reserve(cfg_.max_threads);
-    for (unsigned t = 0; t < cfg_.max_threads; ++t)
-      handles_.push_back(std::make_unique<Handle>(this, t));
-  }
+        fence_path_(asymfence::resolve(cfg.asymmetric_fences)),
+        shim_(cfg.max_threads) {}
 
   ~IbrDomain() { drain_all(); }
 
-  Handle& handle(unsigned tid) { return *handles_.at(tid); }
+  // --- dynamic membership (see nr.hpp for the reference walkthrough) ------
+  Handle& join() {
+    auto* rec =
+        registry_.acquire([this](unsigned idx) { return Handle(this, idx); });
+    rec->handle.registry_record_ = rec;
+    pool_.ensure_shards(rec->index + 1);
+    return rec->handle;
+  }
+
+  // Contract: no operation in flight (the interval is idle).  A final scan
+  // reclaims what it can; the rest is donated for adoption.
+  void leave(Handle& h) {
+    assert(h.res_upper_.load(std::memory_order_relaxed) == kIdle &&
+           "leave() with an operation in flight");
+    if (h.limbo_.count > 0) {
+      h.scan();
+      donate_limbo(h.limbo_, orphans_);
+    }
+    registry_.release(record_of(h));
+  }
+
+  unsigned active_handles() const noexcept { return registry_.active(); }
+  std::size_t total_handle_records() const noexcept {
+    return registry_.total_records();
+  }
+  const HandleRegistry<Handle>& registry() const noexcept { return registry_; }
+
+  // DEPRECATED: fixed-capacity tid-indexed access (joins once per tid and
+  // pins the record forever).  New code should use scoped_handle(domain).
+  Handle& handle(unsigned tid) { return shim_.get(*this, tid); }
+
   const SmrConfig& config() const noexcept { return cfg_; }
   NodePool& pool() noexcept { return pool_; }
   std::int64_t pending_nodes() const noexcept {
@@ -187,38 +223,51 @@ class IbrDomain {
   }
   asymfence::Path fence_path() const noexcept { return fence_path_; }
 
-  void collect_intervals(
-      std::vector<std::pair<std::uint64_t, std::uint64_t>>& out) const {
-    for (unsigned t = 0; t < cfg_.max_threads; ++t) {
+  // Walks the live registry; records of departed threads hold idle
+  // intervals.  `Out` is any push_back-able container of
+  // pair<uint64_t, uint64_t>.
+  template <class Out>
+  void collect_intervals(Out& out) const {
+    for (const auto* r = registry_.head(); r != nullptr;
+         r = r->next_record()) {
       // upper first, then lower (see the ordering note above).
-      const std::uint64_t hi = res_[t]->upper.load(std::memory_order_acquire);
-      const std::uint64_t lo = res_[t]->lower.load(std::memory_order_acquire);
+      const std::uint64_t hi =
+          r->handle.res_upper_.load(std::memory_order_acquire);
+      const std::uint64_t lo =
+          r->handle.res_lower_.load(std::memory_order_acquire);
       if (lo == kIdle && hi == kIdle) continue;
       // kIdle halves of a torn observation widen conservatively; a
       // stale-upper tear can produce an empty interval, covered by the
       // scan barrier instead (see the ordering note at the top).
-      out.emplace_back(lo == kIdle ? 0 : lo, hi == kIdle ? ~std::uint64_t{0} : hi);
+      out.push_back({lo == kIdle ? 0 : lo, hi == kIdle ? ~std::uint64_t{0} : hi});
     }
   }
 
  private:
   friend class Handle;
 
-  struct ReservationData {
-    std::atomic<std::uint64_t> lower{kIdle};
-    std::atomic<std::uint64_t> upper{kIdle};
-  };
+  using Record = HandleRegistry<Handle>::Record;
+  static Record* record_of(Handle& h) noexcept {
+    return static_cast<Record*>(h.registry_record_);
+  }
 
   void drain_all() {
     std::uint64_t freed = 0;
-    for (auto& h : handles_) {
-      ReclaimNode* n = h->limbo_.take();
+    for (auto* r = registry_.head(); r != nullptr; r = r->next_record()) {
+      ReclaimNode* n = r->handle.limbo_.take();
       while (n != nullptr) {
         ReclaimNode* next = n->smr_next;
-        pool_.free(h->tid(), n, n->alloc_size);
+        pool_.free(r->index, n, n->alloc_size);
         ++freed;
         n = next;
       }
+    }
+    ReclaimNode* n = orphans_.take_all();
+    while (n != nullptr) {
+      ReclaimNode* next = n->smr_next;
+      pool_.free(0, n, n->alloc_size);
+      ++freed;
+      n = next;
     }
     counters_.on_free(freed, cfg_.track_stats);
   }
@@ -227,9 +276,10 @@ class IbrDomain {
   NodePool pool_;
   SmrCounters counters_;
   std::atomic<std::uint64_t> clock_{1};
-  std::vector<Padded<ReservationData>> res_;
   asymfence::Path fence_path_;
-  std::vector<std::unique_ptr<Handle>> handles_;
+  HandleRegistry<Handle> registry_;
+  OrphanList orphans_;
+  TidHandleShim<Handle> shim_;
 };
 
 }  // namespace scot

@@ -16,6 +16,7 @@
 // shard — memory migrates between shards exactly like mimalloc pages do.
 #pragma once
 
+#include <atomic>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "common/align.hpp"
+#include "common/chunked_list.hpp"
 #include "smr/reclaim_node.hpp"
 
 namespace scot {
@@ -34,10 +36,26 @@ class NodePool {
   static constexpr std::size_t kNumClasses = 16;  // up to 512-byte cells
   static constexpr std::size_t kBlockBytes = 256 * 1024;
 
-  explicit NodePool(unsigned shards) {
-    shards_.reserve(shards);
-    for (unsigned i = 0; i < shards; ++i)
-      shards_.push_back(std::make_unique<Padded<Shard>>());
+  // `shards` is only the initial population; ensure_shards() grows the
+  // directory on demand when late threads join the domain's registry.
+  explicit NodePool(unsigned shards) { ensure_shards(shards == 0 ? 1 : shards); }
+
+  // Makes shard indices [0, n) usable.  Thread-safe and lock-free (chunk
+  // install is a CAS race; the count is a monotonic CAS-max); existing
+  // shards never move, so references held by running threads stay valid.
+  void ensure_shards(unsigned n) {
+    if (n == 0) return;
+    shards_.ensure(n - 1);
+    unsigned cur = shard_count_.load(std::memory_order_relaxed);
+    while (cur < n && !shard_count_.compare_exchange_weak(
+                          cur, n, std::memory_order_release,
+                          std::memory_order_relaxed)) {
+    }
+  }
+
+  // High-water shard count (for statistics walks).
+  unsigned shard_count() const noexcept {
+    return shard_count_.load(std::memory_order_acquire);
   }
 
   NodePool(const NodePool&) = delete;
@@ -73,17 +91,20 @@ class NodePool {
   // --- statistics (tests / introspection; racy snapshots by design) -------
   std::uint64_t total_block_bytes() const {
     std::uint64_t sum = 0;
-    for (const auto& s : shards_) sum += (*s)->block_bytes;
+    for (unsigned i = 0, n = shard_count(); i < n; ++i)
+      sum += shards_[i]->block_bytes;
     return sum;
   }
   std::uint64_t total_reused() const {
     std::uint64_t sum = 0;
-    for (const auto& s : shards_) sum += (*s)->reused;
+    for (unsigned i = 0, n = shard_count(); i < n; ++i)
+      sum += shards_[i]->reused;
     return sum;
   }
   std::uint64_t total_carved() const {
     std::uint64_t sum = 0;
-    for (const auto& s : shards_) sum += (*s)->carved;
+    for (unsigned i = 0, n = shard_count(); i < n; ++i)
+      sum += shards_[i]->carved;
     return sum;
   }
 
@@ -104,8 +125,8 @@ class NodePool {
   };
 
   Shard& shard(unsigned tid) {
-    assert(tid < shards_.size());
-    return **shards_[tid];
+    assert(tid < shard_count());
+    return *shards_[tid];
   }
 
   static constexpr std::size_t class_of(std::size_t size) {
@@ -134,7 +155,11 @@ class NodePool {
     return cellp + sizeof(AllocHeader);
   }
 
-  std::vector<std::unique_ptr<Padded<Shard>>> shards_;
+  // Lazily materialized, lock-free shard directory: chunks are installed by
+  // CAS and never freed while the pool lives, so Shard references obtained
+  // by running threads stay valid across concurrent growth.
+  AtomicChunkedArray<Padded<Shard>> shards_;
+  std::atomic<unsigned> shard_count_{0};
 };
 
 }  // namespace scot

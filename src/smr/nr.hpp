@@ -6,15 +6,37 @@
 // recycling is cheaper than fresh allocation — with this library's pool the
 // same effect reproduces, because NR always takes the carve path while the
 // reclaiming schemes hit their thread-local free lists.
+//
+// --- Reference implementation of dynamic handle membership ---------------
+//
+// NR has no reservations and no limbo lists, so it shows the registry
+// plumbing every other domain follows with nothing scheme-specific on top:
+//
+//  * The domain owns a `HandleRegistry<Handle>` instead of a pre-built
+//    `handles_` vector.  Handles are created lazily, the first time a
+//    record is appended, and reused across join/leave cycles.
+//
+//  * `join()` claims a registry record (thread-local cache hit, scavenge,
+//    or append), stores the record back-pointer into the handle, and grows
+//    the node pool so the record's index has a shard.  The record index
+//    plays the role the caller-supplied tid used to play: it names the
+//    pool shard and is returned by `Handle::tid()`.
+//
+//  * `leave(h)` runs the scheme's handoff (nothing here; the reclaiming
+//    schemes scan and donate leftovers to an OrphanList) and releases the
+//    record for reuse.  The caller must have no operation in flight.
+//
+//  * `scoped_handle(domain)` is the RAII spelling of the pair; the
+//    deprecated `handle(tid)` shim lazily joins once per tid and pins the
+//    record for the domain's lifetime, so pre-registry code still works.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
-#include <vector>
 
 #include "common/align.hpp"
 #include "smr/handle_core.hpp"
+#include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
 #include "smr/smr_config.hpp"
 
@@ -55,13 +77,34 @@ class NoReclaimDomain {
   };
 
   explicit NoReclaimDomain(SmrConfig cfg = {})
-      : cfg_(cfg), pool_(cfg.max_threads) {
-    handles_.reserve(cfg_.max_threads);
-    for (unsigned t = 0; t < cfg_.max_threads; ++t)
-      handles_.push_back(std::make_unique<Handle>(this, t));
+      : cfg_(cfg), pool_(cfg.max_threads), shim_(cfg.max_threads) {}
+
+  // --- dynamic membership --------------------------------------------------
+  // Claims a per-thread handle; the returned reference stays valid until
+  // the matching leave().  Lock-free (one CAS on the re-join fast path).
+  Handle& join() {
+    auto* rec =
+        registry_.acquire([this](unsigned idx) { return Handle(this, idx); });
+    rec->handle.registry_record_ = rec;
+    pool_.ensure_shards(rec->index + 1);
+    return rec->handle;
   }
 
-  Handle& handle(unsigned tid) { return *handles_.at(tid); }
+  // Returns the handle's record for reuse.  Contract: no operation in
+  // flight.  NR has no per-thread reclamation state to hand off; the
+  // reclaiming schemes scan and donate leftover retires here.
+  void leave(Handle& h) { registry_.release(record_of(h)); }
+
+  unsigned active_handles() const noexcept { return registry_.active(); }
+  std::size_t total_handle_records() const noexcept {
+    return registry_.total_records();
+  }
+  const HandleRegistry<Handle>& registry() const noexcept { return registry_; }
+
+  // DEPRECATED: fixed-capacity tid-indexed access (joins once per tid and
+  // pins the record forever).  New code should use scoped_handle(domain).
+  Handle& handle(unsigned tid) { return shim_.get(*this, tid); }
+
   const SmrConfig& config() const noexcept { return cfg_; }
   NodePool& pool() noexcept { return pool_; }
   std::int64_t pending_nodes() const noexcept {
@@ -71,10 +114,17 @@ class NoReclaimDomain {
 
  private:
   friend class Handle;
+
+  using Record = HandleRegistry<Handle>::Record;
+  static Record* record_of(Handle& h) noexcept {
+    return static_cast<Record*>(h.registry_record_);
+  }
+
   SmrConfig cfg_;
   NodePool pool_;
   SmrCounters counters_;
-  std::vector<std::unique_ptr<Handle>> handles_;
+  HandleRegistry<Handle> registry_;
+  TidHandleShim<Handle> shim_;
 };
 
 }  // namespace scot

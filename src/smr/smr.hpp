@@ -78,6 +78,33 @@ static_assert(SmrDomainV2<HeDomain>);
 static_assert(SmrDomainV2<IbrDomain>);
 static_assert(SmrDomainV2<HyalineDomain>);
 
+// Dynamic membership (this PR): threads join()/leave() the domain at any
+// point in its lifetime instead of being bound to a [0, max_threads) tid at
+// construction.  join() returns a handle backed by a registry record;
+// leave() retires the record for reuse and hands any still-pending retired
+// nodes to the domain for adoption by the next retirer.  scoped_handle(d)
+// (smr/handle_registry.hpp) is the RAII spelling and the preferred way to
+// obtain a handle.  d.handle(tid) remains as a deprecated fixed-capacity
+// shim.  See DESIGN.md §7 for the lifecycle invariants.
+template <class D>
+concept SmrDomainDynamic =
+    SmrDomainV2<D> && requires(D d, typename D::Handle& h) {
+      { d.join() } -> std::same_as<typename D::Handle&>;
+      d.leave(h);
+      { d.active_handles() } -> std::convertible_to<unsigned>;
+      { d.total_handle_records() } -> std::convertible_to<std::size_t>;
+      { d.registry() } ->
+          std::same_as<const HandleRegistry<typename D::Handle>&>;
+    };
+
+static_assert(SmrDomainDynamic<NoReclaimDomain>);
+static_assert(SmrDomainDynamic<EbrDomain>);
+static_assert(SmrDomainDynamic<HpDomain>);
+static_assert(SmrDomainDynamic<HpOptDomain>);
+static_assert(SmrDomainDynamic<HeDomain>);
+static_assert(SmrDomainDynamic<IbrDomain>);
+static_assert(SmrDomainDynamic<HyalineDomain>);
+
 // RAII guard for an SMR critical section (v1 spelling; TraversalGuard is
 // the v2 equivalent and additionally owns slot allocation).
 template <class Handle>

@@ -9,6 +9,12 @@
 // dereferences, which the paired-payload check catches — and which TSan
 // reports as a plain-write/plain-read race, making the TSan CI dimension
 // (SCOT_ASYM=0/1) a second checker.
+//
+// Two churner threads additionally join and leave the handle registry in a
+// tight loop (scoped_handle per iteration, occasionally leaving with a
+// pending retire), so registry membership changes race the scans' heavy
+// barriers and the late-joiner / orphan-adoption arguments of DESIGN.md §7
+// are exercised under both fence disciplines.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -27,6 +33,7 @@ struct StressNode : ReclaimNode {
 
 constexpr unsigned kSources = 8;
 constexpr unsigned kReaders = 3;
+constexpr unsigned kChurners = 2;
 
 template <class Smr>
 class AsymStressTest : public ::testing::Test {};
@@ -56,7 +63,37 @@ void hammer(bool asym, std::uint64_t seed) {
   std::atomic<bool> stop{false};
   std::atomic<std::uint64_t> torn{0};
 
-  scot::test::run_threads(kReaders + 1, [&](unsigned tid) {
+  scot::test::run_threads(kReaders + 1 + kChurners, [&](unsigned tid) {
+    if (tid >= kReaders + 1) {
+      // Churner: joins and leaves the registry in a tight loop while the
+      // writer's asymmetric-fence scans are walking it — every iteration
+      // interleaves a head push / record claim / release with concurrent
+      // heavy-barrier snapshots, plus one protected read so a just-joined
+      // record's first reservation is exercised immediately.
+      Xoshiro256 rng(seed * 0x7f4a7c15 + tid);
+      while (!stop.load(std::memory_order_acquire)) {
+        auto h = scoped_handle(smr);
+        const unsigned s = static_cast<unsigned>(rng.next_in(kSources));
+        h->begin_op();
+        ReclaimNode* p = h->protect(src[s], 0);
+        if (!h->op_valid()) {
+          h->revalidate_op();
+        } else if (p != nullptr) {
+          const auto* n = static_cast<const StressNode*>(p);
+          const std::uint64_t a = n->tag1;
+          const std::uint64_t b = n->tag2;
+          if (a != b) torn.fetch_add(1, std::memory_order_relaxed);
+        }
+        h->end_op();
+        // Leave mid-workload with a pending retire every few laps, so the
+        // orphan donate/adopt path runs under the same fence discipline.
+        if (rng.next_in(4) == 0) {
+          auto* extra = h->template alloc<StressNode>(0x200000000ULL + tid);
+          h->retire(extra);
+        }
+      }
+      return;
+    }
     auto& h = smr.handle(tid);
     Xoshiro256 rng(seed * 0x2545f491 + tid);
     if (tid == kReaders) {
