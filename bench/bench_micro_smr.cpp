@@ -54,7 +54,8 @@ void BM_Protect(benchmark::State& state) {
   cfg.max_threads = 2;
   cfg.asymmetric_fences = state.range(0) != 0;
   Smr smr(cfg);
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   auto* n = h.template alloc<ProbeNode>();
   std::atomic<ReclaimNode*> src{n};
   h.begin_op();
@@ -70,7 +71,8 @@ void BM_Dup(benchmark::State& state) {
   SmrConfig cfg;
   cfg.max_threads = 2;
   Smr smr(cfg);
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   auto* n = h.template alloc<ProbeNode>();
   std::atomic<ReclaimNode*> src{n};
   h.begin_op();
@@ -87,7 +89,8 @@ void BM_BeginEndOp(benchmark::State& state) {
   SmrConfig cfg;
   cfg.max_threads = 2;
   Smr smr(cfg);
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   for (auto _ : state) {
     h.begin_op();
     h.end_op();
@@ -100,7 +103,8 @@ void BM_AllocRetire(benchmark::State& state) {
   cfg.max_threads = 2;
   cfg.scan_threshold = 128;  // paper calibration
   Smr smr(cfg);
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   for (auto _ : state) {
     auto* n = h.template alloc<ProbeNode>();
     h.retire(n);
@@ -166,12 +170,14 @@ LatencySample measure_loop(Body&& body) {
 }
 
 template <class Smr>
-LatencySample measure_protect(bool asym) {
+LatencySample measure_protect(bool asym, bool track_stats = true) {
   SmrConfig cfg;
   cfg.max_threads = 2;
   cfg.asymmetric_fences = asym;
+  cfg.track_stats = track_stats;
   Smr smr(cfg);
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   auto* n = h.template alloc<ProbeNode>();
   std::atomic<ReclaimNode*> src{n};
   h.begin_op();
@@ -188,12 +194,14 @@ LatencySample measure_protect(bool asym) {
 // first slot publish, so begin_op alone would measure zero for exactly the
 // scheme whose activation store the asymmetric discipline relaxes.
 template <class Smr>
-LatencySample measure_activation(bool asym) {
+LatencySample measure_activation(bool asym, bool track_stats = true) {
   SmrConfig cfg;
   cfg.max_threads = 2;
   cfg.asymmetric_fences = asym;
+  cfg.track_stats = track_stats;
   Smr smr(cfg);
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   auto* n = h.template alloc<ProbeNode>();
   std::atomic<ReclaimNode*> src{n};
   const LatencySample s = measure_loop([&] {
@@ -247,6 +255,29 @@ void sweep_activation(bench::BenchReport& report, bench::SchemeId id) {
                   measure_activation<Smr>(asym), "op");
 }
 
+// Stats-overhead guard (report-only): the telemetry counters live on the
+// retire/scan/join/leave paths, never on protect()/begin_op(), so the asym
+// fast path with track_stats on must cost the same as with it off.  A >2%
+// delta is almost certainly a regression that put a counter on the fast
+// path; print a loud warning but do not fail (micro timings jitter).
+template <class Smr>
+void sweep_stats_overhead(bench::SchemeId id) {
+  const auto pct = [](const LatencySample& on, const LatencySample& off) {
+    return off.ns_per_op > 0
+               ? (on.ns_per_op - off.ns_per_op) / off.ns_per_op * 100.0
+               : 0.0;
+  };
+  const double protect_pct =
+      pct(measure_protect<Smr>(true, true), measure_protect<Smr>(true, false));
+  const double act_pct = pct(measure_activation<Smr>(true, true),
+                             measure_activation<Smr>(true, false));
+  std::printf("  %-6s protect %+6.2f%%  begin_op %+6.2f%%%s\n",
+              bench::scheme_name(id), protect_pct, act_pct,
+              protect_pct > 2.0 || act_pct > 2.0
+                  ? "   ** WARNING: stats overhead >2% on asym fast path **"
+                  : "");
+}
+
 int run_latency_sweep(const std::string& json_path) {
   bench::BenchReport report;
   std::printf("   fence path when asymmetric: %s\n",
@@ -269,6 +300,16 @@ int run_latency_sweep(const std::string& json_path) {
   sweep_activation<HeDomain>(report, bench::SchemeId::kHE);
   sweep_activation<IbrDomain>(report, bench::SchemeId::kIBR);
   sweep_activation<HyalineDomain>(report, bench::SchemeId::kHLN);
+  std::printf(
+      "== stats overhead (asym path, track_stats on vs off; guard <2%%) "
+      "==\n");
+  sweep_stats_overhead<NoReclaimDomain>(bench::SchemeId::kNR);
+  sweep_stats_overhead<EbrDomain>(bench::SchemeId::kEBR);
+  sweep_stats_overhead<HpDomain>(bench::SchemeId::kHP);
+  sweep_stats_overhead<HpOptDomain>(bench::SchemeId::kHPopt);
+  sweep_stats_overhead<HeDomain>(bench::SchemeId::kHE);
+  sweep_stats_overhead<IbrDomain>(bench::SchemeId::kIBR);
+  sweep_stats_overhead<HyalineDomain>(bench::SchemeId::kHLN);
   std::string error;
   if (!report.write_file(json_path, &error)) {
     std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),

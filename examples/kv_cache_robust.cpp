@@ -25,15 +25,18 @@ long long run_shard(const char* label, int stalled_ms) {
   HashMap<std::uint64_t, std::uint64_t, Smr> cache(smr, /*buckets=*/256);
 
   // Warm the cache.
-  auto& h0 = smr.handle(0);
-  for (std::uint64_t k = 0; k < 2048; ++k) cache.insert(h0, k, k * k);
+  {
+    auto sh = scoped_handle(smr);
+    for (std::uint64_t k = 0; k < 2048; ++k) cache.insert(sh.get(), k, k * k);
+  }
 
   std::atomic<bool> stop{false};
   std::atomic<long long> peak{0};
 
   // Thread 3 is the victim: it opens an operation and stalls inside it.
   std::thread victim([&] {
-    auto& h = smr.handle(3);
+    auto sh = scoped_handle(smr);
+    auto& h = sh.get();
     h.begin_op();  // stuck mid-lookup...
     std::this_thread::sleep_for(std::chrono::milliseconds(stalled_ms));
     h.end_op();  // ...finally rescheduled
@@ -42,8 +45,9 @@ long long run_shard(const char* label, int stalled_ms) {
   // Threads 1-2 keep serving puts/evictions (maximum reclamation pressure).
   std::vector<std::thread> workers;
   for (unsigned t = 1; t <= 2; ++t) {
-    workers.emplace_back([&, t] {
-      auto& h = smr.handle(t);
+    workers.emplace_back([&] {
+      auto sh = scoped_handle(smr);
+      auto& h = sh.get();
       std::uint64_t i = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         const std::uint64_t k = (i * 2654435761u) % 2048;

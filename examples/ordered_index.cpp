@@ -39,7 +39,8 @@ int main() {
   // window.
   for (unsigned t = 0; t < 2; ++t) {
     threads.emplace_back([&, t] {
-      auto& h = smr.handle(t);
+      auto sh = scoped_handle(smr);
+      auto& h = sh.get();
       Xoshiro256 rng(0xF00D + t);
       std::vector<std::uint64_t> window;
       window.reserve(kWindow);
@@ -68,7 +69,8 @@ int main() {
   // and of random ids (should miss).
   for (unsigned t = 2; t < 4; ++t) {
     threads.emplace_back([&, t] {
-      auto& h = smr.handle(t);
+      auto sh = scoped_handle(smr);
+      auto& h = sh.get();
       Xoshiro256 rng(t);
       while (!stop.load(std::memory_order_relaxed)) {
         const std::uint64_t recent =

@@ -27,7 +27,9 @@ int main() {
   HarrisList<std::uint64_t, std::uint64_t, HpDomain> list(smr);
 
   // 3. Single-threaded use: every operation takes the thread's handle.
-  auto& h = smr.handle(0);
+  //    scoped_handle() joins the domain and leaves again at scope end.
+  auto main_handle = scoped_handle(smr);
+  auto& h = main_handle.get();
   list.insert(h, 7, 700);
   list.insert(h, 3, 300);
   std::printf("contains(7) = %d\n", list.contains(h, 7));
@@ -42,7 +44,8 @@ int main() {
   std::vector<std::thread> workers;
   for (unsigned t = 0; t < 4; ++t) {
     workers.emplace_back([&, t] {
-      auto& handle = smr.handle(t);
+      auto worker_handle = scoped_handle(smr);
+      auto& handle = worker_handle.get();
       for (std::uint64_t i = 0; i < 10000; ++i) {
         const std::uint64_t k = (i * 31 + t) % 512;
         if (i % 3 == 0) {

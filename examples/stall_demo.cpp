@@ -21,13 +21,16 @@ void demo(const char* name) {
   cfg.max_threads = 3;
   Smr smr(cfg);
   HarrisList<std::uint64_t, std::uint64_t, Smr> list(smr);
-  auto& h0 = smr.handle(0);
-  for (std::uint64_t k = 0; k < 1024; ++k) list.insert(h0, k, k);
+  {
+    auto sh = scoped_handle(smr);
+    for (std::uint64_t k = 0; k < 1024; ++k) list.insert(sh.get(), k, k);
+  }
 
   std::atomic<bool> stop{false};
   // Churning worker.
   std::thread churn([&] {
-    auto& h = smr.handle(1);
+    auto sh = scoped_handle(smr);
+    auto& h = sh.get();
     std::uint64_t i = 0;
     while (!stop.load(std::memory_order_relaxed)) {
       const std::uint64_t k = (i * 2654435761u) % 1024;
@@ -38,7 +41,8 @@ void demo(const char* name) {
   });
   // Repeatedly-stalling reader: 10 ms of work, 90 ms stalled mid-op.
   std::thread staller([&] {
-    auto& h = smr.handle(2);
+    auto sh = scoped_handle(smr);
+    auto& h = sh.get();
     while (!stop.load(std::memory_order_relaxed)) {
       h.begin_op();
       std::this_thread::sleep_for(std::chrono::milliseconds(90));

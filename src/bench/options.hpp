@@ -89,6 +89,11 @@ struct CaseConfig {
                                  // domain; --no-asym turns it off for A/B
                                  // comparison against the classic seq_cst
                                  // protect path.
+  unsigned latency_sample_every = 16;  // per-op latency sampling stride: time
+                                       // every Nth op into a log-bucketed
+                                       // histogram (obs/histogram.hpp) and
+                                       // report p50/p99/p999.  0 disables
+                                       // sampling (percentiles report as 0).
 };
 
 struct CaseResult {
@@ -106,6 +111,12 @@ struct CaseResult {
   std::uint64_t reads = 0;
   std::uint64_t inserts = 0;
   std::uint64_t removes = 0;
+  // Sampled per-operation latency percentiles (schema v2; 0 when sampling
+  // is off).  Bucket midpoints of the merged worker histograms, so values
+  // carry the ≤6.25% relative bucket error documented in obs/histogram.hpp.
+  double p50_ns = 0;
+  double p99_ns = 0;
+  double p999_ns = 0;
 };
 
 // --- paper-artifact CLI (Appendix A.5) ------------------------------------

@@ -13,7 +13,11 @@
 namespace scot::bench {
 
 inline constexpr const char* kReportSchemaName = "scot-bench";
-inline constexpr int kReportSchemaVersion = 1;
+// v2 adds per-cell latency percentiles (p50_ns/p99_ns/p999_ns) and
+// meta.stats_enabled.  Strictly additive: the parser still loads v1 files
+// (the new fields default to 0/false), and cell_key() ignores measurements,
+// so v1 baselines diff cleanly against v2 runs.
+inline constexpr int kReportSchemaVersion = 2;
 
 struct ReportMeta {
   std::string schema = kReportSchemaName;
@@ -28,6 +32,9 @@ struct ReportMeta {
   // requests asymmetric fences: "membarrier" or "fence-fallback"
   // (src/common/asymfence.hpp).  Cells record per-run on/off separately.
   std::string asym_fence;
+  // Whether the binary was compiled with the SMR telemetry counters
+  // (SCOT_STATS; DESIGN.md §8).  v2; loads as false from v1 files.
+  bool stats_enabled = false;
 };
 
 // Metadata of the running binary: build-time macros + runtime clock.

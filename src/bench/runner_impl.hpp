@@ -30,6 +30,7 @@
 #include "common/xorshift.hpp"
 #include "common/zipf.hpp"
 #include "core/core.hpp"
+#include "obs/histogram.hpp"
 
 namespace scot::bench {
 
@@ -114,6 +115,10 @@ CaseResult run_one_map(MapLike& map, const CaseConfig& cfg,
   std::vector<std::uint64_t> reads(cfg.threads, 0);
   std::vector<std::uint64_t> inserts(cfg.threads, 0);
   std::vector<std::uint64_t> removes(cfg.threads, 0);
+  // One latency histogram per worker (single-writer during the run), merged
+  // after join — no synchronisation on the measured path beyond two clock
+  // reads per sampled op.
+  std::vector<obs::LatencyHistogram> latency(cfg.threads);
   std::vector<std::thread> workers;
   for (unsigned t = 0; t < cfg.threads; ++t) {
     workers.emplace_back([&, t] {
@@ -123,6 +128,8 @@ CaseResult run_one_map(MapLike& map, const CaseConfig& cfg,
       // pointer-table index per op).
       auto session = map.session();
       Xoshiro256 rng(run_seed * 0x9e3779b9 + 1000003ULL * t);
+      obs::LatencyHistogram& hist = latency[t];
+      const unsigned lat_every = cfg.latency_sample_every;
       while (!go.load(std::memory_order_acquire)) cpu_relax();
       std::uint64_t local = 0, nread = 0, nins = 0, ndel = 0;
       const std::uint64_t budget = cfg.op_budget;
@@ -138,6 +145,8 @@ CaseResult run_one_map(MapLike& map, const CaseConfig& cfg,
             zipf ? scramble(zipf->next(rng) + 1) % cfg.key_range
                  : rng.next_in(cfg.key_range);
         const auto roll = static_cast<int>(rng.next_in(100));
+        const bool timed_op = lat_every != 0 && local % lat_every == 0;
+        const std::uint64_t op_t0 = timed_op ? now_ns() : 0;
         if (roll < cfg.read_pct) {
           session.contains(k);
           ++nread;
@@ -148,6 +157,7 @@ CaseResult run_one_map(MapLike& map, const CaseConfig& cfg,
           session.erase(k);
           ++ndel;
         }
+        if (timed_op) hist.record(now_ns() - op_t0);
         ++local;
       }
       ops[t] = local;
@@ -203,6 +213,13 @@ CaseResult run_one_map(MapLike& map, const CaseConfig& cfg,
   r.peak_pending = pending_peak;
   r.restarts = map.restarts();
   r.recoveries = map.recoveries();
+  obs::LatencyHistogram merged;
+  for (const auto& h : latency) merged.merge(h);
+  if (merged.count() > 0) {
+    r.p50_ns = static_cast<double>(merged.percentile(50.0));
+    r.p99_ns = static_cast<double>(merged.percentile(99.0));
+    r.p999_ns = static_cast<double>(merged.percentile(99.9));
+  }
   return r;
 }
 

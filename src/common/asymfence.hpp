@@ -40,6 +40,8 @@
 #include <unistd.h>
 #endif
 
+#include "obs/trace.hpp"
+
 // ThreadSanitizer does not instrument stand-alone atomic_thread_fence (GCC
 // even warns "'atomic_thread_fence' is not supported with
 // '-fsanitize=thread'"), so orderings established only by a fence are
@@ -198,6 +200,9 @@ inline void light_barrier(Path p) noexcept {
 // yet visible belongs to a reader whose validating re-read is ordered after
 // this point (see DESIGN.md §5).
 inline void heavy_barrier(Path p) noexcept {
+  // Every scheme's scan/seal funnels through here, so this one span covers
+  // all heavy-barrier events in the trace (no-op unless SCOT_TRACE=1).
+  obs::TraceSpan span(obs::TraceKind::kBarrier);
 #if defined(__linux__) && defined(SYS_membarrier)
   if (p == Path::kMembarrier &&
       syscall(SYS_membarrier, MEMBARRIER_CMD_PRIVATE_EXPEDITED, 0, 0) == 0)

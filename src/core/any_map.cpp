@@ -92,6 +92,7 @@ class TypedAnyMap final : public detail::AnyMapImpl {
   std::size_t total_handle_records() const override {
     return smr_.total_handle_records();
   }
+  obs::StatsSnapshot stats() const override { return smr_.stats(); }
 
  private:
   static std::unique_ptr<DS> make_ds(Smr& smr, const AnyMapOptions& options) {

@@ -24,6 +24,7 @@
 #include <utility>
 
 #include "core/registry.hpp"
+#include "obs/stats.hpp"
 #include "smr/registry.hpp"
 #include "smr/smr_config.hpp"
 
@@ -60,6 +61,7 @@ class AnyMapImpl {
   virtual std::uint64_t recoveries() const = 0;
   virtual unsigned active_handles() const = 0;
   virtual std::size_t total_handle_records() const = 0;
+  virtual obs::StatsSnapshot stats() const = 0;
 };
 
 }  // namespace detail
@@ -162,6 +164,11 @@ class AnyMap {
   std::size_t total_handle_records() const {
     return impl_->total_handle_records();
   }
+  // Aggregated observability snapshot of the underlying domain (DESIGN.md
+  // §8): retire/scan/barrier/orphan counters, limbo peak, scan-latency
+  // percentiles.  Zeroed (enabled=false) when stats are compiled out or the
+  // domain runs with track_stats=false.
+  obs::StatsSnapshot stats() const { return impl_->stats(); }
 
   SchemeId scheme() const { return scheme_; }
   StructureId structure() const { return structure_; }

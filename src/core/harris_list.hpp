@@ -41,6 +41,7 @@
 #include "core/list_common.hpp"
 #include "core/marked_ptr.hpp"
 #include "core/wait_free.hpp"
+#include "smr/handle_registry.hpp"
 #include "smr/smr.hpp"
 
 namespace scot {
@@ -92,7 +93,8 @@ class HarrisList {
   };
 
   explicit HarrisList(Smr& smr, Compare cmp = {}) : smr_(smr), cmp_(cmp) {
-    Node* tail = smr_.handle(0).template alloc<Node>(Key{}, Value{}, 1);
+    auto h = scoped_handle(smr_);
+    Node* tail = h->template alloc<Node>(Key{}, Value{}, 1);
     head_.store(MP(tail), std::memory_order_release);
     if constexpr (Traits::kWaitFree) {
       wf_ = std::make_unique<WfHelpRegistry<Key>>(smr_.config().max_threads);
@@ -100,7 +102,8 @@ class HarrisList {
   }
 
   ~HarrisList() {
-    auto& h = smr_.handle(0);
+    auto sh = scoped_handle(smr_);
+    auto& h = sh.get();
     Node* n = head_.load(std::memory_order_relaxed).ptr();
     while (n != nullptr) {
       Node* next = n->next.load(std::memory_order_relaxed).ptr();

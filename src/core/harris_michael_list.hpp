@@ -20,6 +20,7 @@
 #include "common/align.hpp"
 #include "core/list_common.hpp"
 #include "core/marked_ptr.hpp"
+#include "smr/handle_registry.hpp"
 #include "smr/smr.hpp"
 
 namespace scot {
@@ -50,7 +51,8 @@ class HarrisMichaelList {
 
   explicit HarrisMichaelList(Smr& smr, Compare cmp = {})
       : smr_(smr), cmp_(cmp) {
-    Node* tail = smr_.handle(0).template alloc<Node>(Key{}, Value{}, 1);
+    auto h = scoped_handle(smr_);
+    Node* tail = h->template alloc<Node>(Key{}, Value{}, 1);
     head_.store(MP(tail), std::memory_order_release);
   }
 
@@ -58,7 +60,8 @@ class HarrisMichaelList {
     // Single-threaded teardown: free every node still linked (including
     // logically deleted but not yet unlinked ones; retired nodes are
     // unlinked by construction and owned by the SMR domain).
-    auto& h = smr_.handle(0);
+    auto sh = scoped_handle(smr_);
+    auto& h = sh.get();
     Node* n = head_.load(std::memory_order_relaxed).ptr();
     while (n != nullptr) {
       Node* next = n->next.load(std::memory_order_relaxed).ptr();

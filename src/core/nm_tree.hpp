@@ -43,6 +43,7 @@
 #include "common/align.hpp"
 #include "common/stable_atomic.hpp"
 #include "core/marked_ptr.hpp"
+#include "smr/handle_registry.hpp"
 #include "smr/smr.hpp"
 
 namespace scot {
@@ -91,7 +92,8 @@ class NatarajanMittalTree {
 
   explicit NatarajanMittalTree(Smr& smr, Compare cmp = {})
       : smr_(smr), cmp_(cmp) {
-    auto& h = smr_.handle(0);
+    auto sh = scoped_handle(smr_);
+    auto& h = sh.get();
     Node* leaf1 = h.template alloc<Node>(Key{}, Value{}, 1);
     Node* leaf2 = h.template alloc<Node>(Key{}, Value{}, 2);
     Node* leaf3 = h.template alloc<Node>(Key{}, Value{}, 3);
@@ -106,7 +108,8 @@ class NatarajanMittalTree {
   ~NatarajanMittalTree() {
     // Single-threaded teardown; every linked node has exactly one parent,
     // so an explicit-stack walk frees each node once.
-    auto& h = smr_.handle(0);
+    auto sh = scoped_handle(smr_);
+    auto& h = sh.get();
     std::vector<Node*> stack{r_};
     while (!stack.empty()) {
       Node* n = stack.back();

@@ -39,6 +39,7 @@
 #include "common/stable_atomic.hpp"
 #include "common/xorshift.hpp"
 #include "core/marked_ptr.hpp"
+#include "smr/handle_registry.hpp"
 #include "smr/smr.hpp"
 
 namespace scot {
@@ -98,7 +99,8 @@ class SkipList {
   };
 
   explicit SkipList(Smr& smr, Compare cmp = {}) : smr_(smr), cmp_(cmp) {
-    Node* tail = smr_.handle(0).template alloc<Node>(
+    auto h = scoped_handle(smr_);
+    Node* tail = h->template alloc<Node>(
         Key{}, Value{}, std::uint8_t{1}, static_cast<std::uint8_t>(kMaxHeight));
     for (unsigned l = 0; l < kMaxHeight; ++l)
       head_[l].store(MP(tail), std::memory_order_relaxed);
@@ -109,7 +111,8 @@ class SkipList {
   }
 
   ~SkipList() {
-    auto& h = smr_.handle(0);
+    auto sh = scoped_handle(smr_);
+    auto& h = sh.get();
     Node* n = head_[0].load(std::memory_order_relaxed).ptr();
     while (n != nullptr) {
       Node* next = n->next[0].load(std::memory_order_relaxed).ptr();

@@ -1,0 +1,134 @@
+// Log-linear latency histogram (HdrHistogram-style), dependency-free.
+//
+// Values are bucketed by octave (position of the most significant bit) and
+// each octave is split into 2^kSubBits linear sub-buckets, so the relative
+// bucket width is bounded by 2^-kSubBits (6.25% with 4 sub-bits) across the
+// full uint64 range.  That bound is what the stats_test checks: a percentile
+// read from the histogram must land within one bucket of the same percentile
+// computed from the sorted raw samples.
+//
+// Concurrency contract (DESIGN.md §8): buckets are relaxed atomics with a
+// single-writer discipline — record() is a plain load+store pair (compiles
+// to ordinary increments on x86/ARM), merge()/percentile() read other
+// threads' cells with relaxed loads.  Readers may observe a mid-flight
+// histogram; the aggregate is approximate while writers run and exact in
+// quiescence, exactly like the domain-wide pending gauge.  No fences, no
+// RMWs, nothing on any fast path.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace scot::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr unsigned kSubBits = 4;
+  static constexpr unsigned kSubBuckets = 1u << kSubBits;
+  // One linear group for values < kSubBuckets, then one group per octave.
+  static constexpr unsigned kGroups = 64 - kSubBits + 1;
+  static constexpr unsigned kBucketCount = kGroups * kSubBuckets;
+
+  // Single-writer record (the owning thread); see the header comment.
+  void record(std::uint64_t v) noexcept {
+    bump(buckets_[index_of(v)], 1);
+    bump(count_, 1);
+    bump(sum_, v);
+    if (v < min_.load(std::memory_order_relaxed))
+      min_.store(v, std::memory_order_relaxed);
+    if (v > max_.load(std::memory_order_relaxed))
+      max_.store(v, std::memory_order_relaxed);
+  }
+
+  // Bucket-wise merge of another histogram into this one.  This histogram
+  // must be owned by the calling thread; `o` may still be written (the
+  // merge then captures a relaxed snapshot).
+  void merge(const LatencyHistogram& o) noexcept {
+    for (unsigned i = 0; i < kBucketCount; ++i)
+      bump(buckets_[i], o.buckets_[i].load(std::memory_order_relaxed));
+    bump(count_, o.count_.load(std::memory_order_relaxed));
+    bump(sum_, o.sum_.load(std::memory_order_relaxed));
+    const std::uint64_t omin = o.min_.load(std::memory_order_relaxed);
+    const std::uint64_t omax = o.max_.load(std::memory_order_relaxed);
+    if (omin < min_.load(std::memory_order_relaxed))
+      min_.store(omin, std::memory_order_relaxed);
+    if (omax > max_.load(std::memory_order_relaxed))
+      max_.store(omax, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t min() const noexcept {
+    const std::uint64_t m = min_.load(std::memory_order_relaxed);
+    return count() == 0 ? 0 : m;
+  }
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  double mean() const noexcept {
+    const std::uint64_t c = count();
+    return c == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(c);
+  }
+
+  // Value at percentile p (0..100]: the representative (midpoint) value of
+  // the bucket containing the ceil(p% * count)-th sample.  0 when empty.
+  double percentile(double p) const noexcept {
+    const std::uint64_t total = count();
+    if (total == 0) return 0.0;
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(total) + 0.5);
+    if (rank < 1) rank = 1;
+    if (rank > total) rank = total;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBucketCount; ++i) {
+      seen += buckets_[i].load(std::memory_order_relaxed);
+      if (seen >= rank) return value_of(i);
+    }
+    return value_of(kBucketCount - 1);
+  }
+
+  // Bucket index of a value: linear below kSubBuckets, log-linear above.
+  static unsigned index_of(std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return static_cast<unsigned>(v);
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned group = msb - kSubBits + 1;
+    const unsigned sub =
+        static_cast<unsigned>((v >> (msb - kSubBits)) & (kSubBuckets - 1));
+    return group * kSubBuckets + sub;
+  }
+
+  // Representative (midpoint) value of a bucket.
+  static double value_of(unsigned index) noexcept {
+    const unsigned group = index / kSubBuckets;
+    const unsigned sub = index % kSubBuckets;
+    if (group == 0) return static_cast<double>(sub);
+    const unsigned shift = group - 1;
+    const double base =
+        static_cast<double>(kSubBuckets + sub) * exp2u(shift);
+    return base + exp2u(shift) / 2.0;
+  }
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& a, std::uint64_t n) noexcept {
+    a.store(a.load(std::memory_order_relaxed) + n,
+            std::memory_order_relaxed);
+  }
+  static double exp2u(unsigned e) noexcept {
+    double v = 1.0;
+    while (e >= 32) { v *= 4294967296.0; e -= 32; }
+    return v * static_cast<double>(std::uint64_t{1} << e);
+  }
+
+  std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+}  // namespace scot::obs

@@ -23,6 +23,8 @@
 
 #include "common/align.hpp"
 #include "common/asymfence.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "smr/handle_core.hpp"
 #include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
@@ -79,11 +81,18 @@ class EbrDomain {
       n->debug_state = kNodeRetired;
       n->retire_era = dom_->clock_.load(std::memory_order_acquire);
       limbo_.push(n);
-      if (!dom_->orphans_.empty()) adopt_orphans(dom_->orphans_, limbo_);
+      if (!dom_->orphans_.empty() &&
+          adopt_orphans(dom_->orphans_, limbo_) > 0) {
+        obs::count(stats_, obs::Counter::kOrphanAdoptions);
+        obs::trace_instant(obs::TraceKind::kAdopt);
+      }
       dom_->counters_.on_retire(dom_->cfg_.track_stats);
+      obs::count(stats_, obs::Counter::kRetires);
+      obs::peak(stats_, limbo_.count);
       if (++tick_ >= dom_->cfg_.era_freq) {
         tick_ = 0;
         dom_->clock_.fetch_add(1, std::memory_order_acq_rel);
+        obs::count(stats_, obs::Counter::kEraAdvances);
       }
       if (limbo_.count >= dom_->cfg_.scan_threshold) scan();
     }
@@ -92,12 +101,16 @@ class EbrDomain {
 
     // Frees every retired node no active reservation can still reference.
     void scan() {
+      obs::TraceSpan span(obs::TraceKind::kScan);
+      const std::uint64_t stats_t0 = obs::scan_begin(stats_);
       // Surface in-flight activation stores before snapshotting the
       // reservations; a reservation the barrier does not surface belongs
       // to a thread whose first shared load is ordered after every unlink
       // in this batch (DESIGN.md §5, activation case).
-      if (dom_->fence_path_ != asymfence::Path::kClassic)
+      if (dom_->fence_path_ != asymfence::Path::kClassic) {
         asymfence::heavy_barrier(dom_->fence_path_);
+        obs::count(stats_, obs::Counter::kHeavyBarriers);
+      }
       const std::uint64_t min_res = dom_->min_reservation();
       ReclaimNode* n = limbo_.take();
       std::uint64_t freed = 0;
@@ -112,6 +125,7 @@ class EbrDomain {
         n = next;
       }
       dom_->counters_.on_free(freed, dom_->cfg_.track_stats);
+      obs::scan_end(stats_, stats_t0, freed);
     }
 
     // Test hook: number of nodes parked in this thread's limbo list.
@@ -142,6 +156,8 @@ class EbrDomain {
         registry_.acquire([this](unsigned idx) { return Handle(this, idx); });
     rec->handle.registry_record_ = rec;
     pool_.ensure_shards(rec->index + 1);
+    obs::count(rec->handle.stats_, obs::Counter::kJoins);
+    obs::trace_instant(obs::TraceKind::kJoin);
     return rec->handle;
   }
 
@@ -153,8 +169,11 @@ class EbrDomain {
            "leave() with an operation in flight");
     if (h.limbo_.count > 0) {
       h.scan();
-      donate_limbo(h.limbo_, orphans_);
+      if (donate_limbo(h.limbo_, orphans_) > 0)
+        obs::count(h.stats_, obs::Counter::kOrphanDonations);
     }
+    obs::count(h.stats_, obs::Counter::kLeaves);
+    obs::trace_instant(obs::TraceKind::kLeave);
     registry_.release(record_of(h));
   }
 
@@ -178,6 +197,18 @@ class EbrDomain {
     return clock_.load(std::memory_order_acquire);
   }
   asymfence::Path fence_path() const noexcept { return fence_path_; }
+
+  // Observability (DESIGN.md §8): the per-handle cell list and the
+  // aggregated snapshot.
+  obs::DomainStats& obs_stats() noexcept { return stats_obs_; }
+  obs::StatsSnapshot stats() const {
+    obs::StatsSnapshot s = stats_obs_.snapshot();
+    s.enabled = SCOT_STATS != 0 && cfg_.track_stats;
+    s.pending = pending_nodes();
+    s.retired_total = counters_.retired.load(std::memory_order_relaxed);
+    s.reclaimed_total = counters_.reclaimed.load(std::memory_order_relaxed);
+    return s;
+  }
 
   // Walks the live registry (not a fixed handles_ vector): records of
   // departed threads hold an idle reservation, so no active-bit filtering
@@ -231,6 +262,9 @@ class EbrDomain {
   SmrCounters counters_;
   std::atomic<std::uint64_t> clock_{1};
   asymfence::Path fence_path_;
+  // Declared before the registry: handles hold raw cell pointers, so the
+  // cell list must be destroyed after the records are.
+  obs::DomainStats stats_obs_;
   HandleRegistry<Handle> registry_;
   OrphanList orphans_;
   TidHandleShim<Handle> shim_;

@@ -11,6 +11,7 @@
 #include <type_traits>
 #include <utility>
 
+#include "obs/stats.hpp"
 #include "smr/guard.hpp"
 #include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
@@ -41,23 +42,30 @@ struct LimboList {
 // by leave() for whatever a final scan could not reclaim) and resets the
 // list.  The walk to find the tail is O(n), but leave() is rare and the
 // list is bounded by the scan threshold plus still-protected stragglers.
-inline void donate_limbo(LimboList& limbo, OrphanList& orphans) noexcept {
-  if (limbo.count == 0) return;
+// Returns the number of nodes donated (0 = no donation happened).
+inline unsigned donate_limbo(LimboList& limbo, OrphanList& orphans) noexcept {
+  const unsigned donated = limbo.count;
+  if (donated == 0) return 0;
   ReclaimNode* last = limbo.head;
   while (last->smr_next != nullptr) last = last->smr_next;
   orphans.donate(limbo.head, last);
   limbo.take();
+  return donated;
 }
 
 // Adopts every orphaned retire into `limbo` (the limbo-list schemes' side of
-// the handoff; Hyaline splices into its batch instead).
-inline void adopt_orphans(OrphanList& orphans, LimboList& limbo) noexcept {
+// the handoff; Hyaline splices into its batch instead).  Returns the number
+// of nodes adopted (0 = the mailbox was raced empty).
+inline unsigned adopt_orphans(OrphanList& orphans, LimboList& limbo) noexcept {
   ReclaimNode* n = orphans.take_all();
+  unsigned adopted = 0;
   while (n != nullptr) {
     ReclaimNode* next = n->smr_next;
     limbo.push(n);
+    ++adopted;
     n = next;
   }
+  return adopted;
 }
 
 // Derived must provide:
@@ -67,7 +75,10 @@ inline void adopt_orphans(OrphanList& orphans, LimboList& limbo) noexcept {
 template <class Domain, class Derived>
 class HandleCore {
  public:
-  HandleCore(Domain* dom, unsigned tid) : dom_(dom), tid_(tid) {}
+  HandleCore(Domain* dom, unsigned tid)
+      : stats_(dom->obs_stats().make_cell(dom->config().track_stats)),
+        dom_(dom),
+        tid_(tid) {}
 
   HandleCore(const HandleCore&) = delete;
   HandleCore& operator=(const HandleCore&) = delete;
@@ -126,6 +137,12 @@ class HandleCore {
   // domain's join().  Opaque here (the record type depends on the concrete
   // Handle); domains cast it back in leave().
   void* registry_record_ = nullptr;
+
+  // Observability cell: one padded counter block per registry record,
+  // cumulative across claim/release reuse like the ds_* fields above.
+  // nullptr when stats are compiled out (SCOT_STATS=0) or the domain was
+  // built with track_stats=false — every obs:: helper no-ops on null.
+  obs::StatsCell* stats_ = nullptr;
 
  protected:
   Derived* derived() noexcept { return static_cast<Derived*>(this); }

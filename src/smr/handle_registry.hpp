@@ -49,6 +49,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -64,6 +65,13 @@ namespace detail {
 inline std::uint64_t next_registry_id() noexcept {
   static std::atomic<std::uint64_t> counter{1};
   return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Process-wide (not per shim instantiation), so the deprecation note below
+// prints at most once no matter how many schemes touch their shims.
+inline std::atomic<bool>& shim_warned() noexcept {
+  static std::atomic<bool> warned{false};
+  return warned;
 }
 }  // namespace detail
 
@@ -274,6 +282,7 @@ class TidHandleShim {
   // mutex, not the vector).  Preserves the historical out-of-range throw.
   template <class Domain>
   Handle& get(Domain& d, unsigned tid) {
+    warn_once();
     std::lock_guard<std::mutex> lock(mu_);
     Handle*& h = slots_.at(tid);
     if (h == nullptr) h = &d.join();
@@ -281,6 +290,18 @@ class TidHandleShim {
   }
 
  private:
+  // One process-wide note instead of per-call noise: the shim exists for
+  // legacy callers and migration is a mechanical scoped_handle swap, so a
+  // single pointer at the replacement is all the nagging that is useful.
+  static void warn_once() noexcept {
+    if (!detail::shim_warned().exchange(true, std::memory_order_relaxed)) {
+      std::fputs(
+          "scot: note: domain.handle(tid) is deprecated; use "
+          "scot::scoped_handle(domain) or AnyMap::session() instead\n",
+          stderr);
+    }
+  }
+
   std::mutex mu_;
   std::vector<Handle*> slots_;
 };

@@ -23,6 +23,8 @@
 #include "common/align.hpp"
 #include "common/asymfence.hpp"
 #include "common/chunked_list.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "smr/handle_core.hpp"
 #include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
@@ -123,8 +125,14 @@ class HeDomain {
       n->debug_state = kNodeRetired;
       n->retire_era = dom_->clock_.load(std::memory_order_acquire);
       limbo_.push(n);
-      if (!dom_->orphans_.empty()) adopt_orphans(dom_->orphans_, limbo_);
+      if (!dom_->orphans_.empty() &&
+          adopt_orphans(dom_->orphans_, limbo_) > 0) {
+        obs::count(stats_, obs::Counter::kOrphanAdoptions);
+        obs::trace_instant(obs::TraceKind::kAdopt);
+      }
       dom_->counters_.on_retire(dom_->cfg_.track_stats);
+      obs::count(stats_, obs::Counter::kRetires);
+      obs::peak(stats_, limbo_.count);
       era_tick();
       if (limbo_.count >= dom_->cfg_.scan_threshold) scan();
     }
@@ -135,13 +143,17 @@ class HeDomain {
     }
 
     void scan() {
+      obs::TraceSpan span(obs::TraceKind::kScan);
+      const std::uint64_t stats_t0 = obs::scan_begin(stats_);
       // Surface in-flight era publications before reading the slots; a
       // publication the barrier does not surface belongs to a reader whose
       // validating re-read is ordered after every unlink in this batch.
       // The registry head is read after the barrier, so the same argument
       // covers records of late-joining threads (DESIGN.md §7).
-      if (dom_->fence_path_ != asymfence::Path::kClassic)
+      if (dom_->fence_path_ != asymfence::Path::kClassic) {
         asymfence::heavy_barrier(dom_->fence_path_);
+        obs::count(stats_, obs::Counter::kHeavyBarriers);
+      }
       // Reservation snapshot (sorted) — one pass over the live registry
       // per scan instead of one per retired node.
       snapshot_.clear();
@@ -160,6 +172,7 @@ class HeDomain {
         n = next;
       }
       dom_->counters_.on_free(freed, dom_->cfg_.track_stats);
+      obs::scan_end(stats_, stats_t0, freed);
     }
 
     unsigned limbo_size() const noexcept { return limbo_.count; }
@@ -178,6 +191,7 @@ class HeDomain {
       if (++tick_ >= dom_->cfg_.era_freq) {
         tick_ = 0;
         dom_->clock_.fetch_add(1, std::memory_order_acq_rel);
+        obs::count(stats_, obs::Counter::kEraAdvances);
       }
     }
 
@@ -213,6 +227,8 @@ class HeDomain {
         registry_.acquire([this](unsigned idx) { return Handle(this, idx); });
     rec->handle.registry_record_ = rec;
     pool_.ensure_shards(rec->index + 1);
+    obs::count(rec->handle.stats_, obs::Counter::kJoins);
+    obs::trace_instant(obs::TraceKind::kJoin);
     return rec->handle;
   }
 
@@ -222,8 +238,11 @@ class HeDomain {
     h.end_op();
     if (h.limbo_.count > 0) {
       h.scan();
-      donate_limbo(h.limbo_, orphans_);
+      if (donate_limbo(h.limbo_, orphans_) > 0)
+        obs::count(h.stats_, obs::Counter::kOrphanDonations);
     }
+    obs::count(h.stats_, obs::Counter::kLeaves);
+    obs::trace_instant(obs::TraceKind::kLeave);
     registry_.release(record_of(h));
   }
 
@@ -247,6 +266,18 @@ class HeDomain {
     return clock_.load(std::memory_order_acquire);
   }
   asymfence::Path fence_path() const noexcept { return fence_path_; }
+
+  // Observability (DESIGN.md §8): the per-handle cell list and the
+  // aggregated snapshot.
+  obs::DomainStats& obs_stats() noexcept { return stats_obs_; }
+  obs::StatsSnapshot stats() const {
+    obs::StatsSnapshot s = stats_obs_.snapshot();
+    s.enabled = SCOT_STATS != 0 && cfg_.track_stats;
+    s.pending = pending_nodes();
+    s.retired_total = counters_.retired.load(std::memory_order_relaxed);
+    s.reclaimed_total = counters_.reclaimed.load(std::memory_order_relaxed);
+    return s;
+  }
 
   // Test/introspection accessor for a tid-indexed slot (routes through the
   // deprecated shim, joining the tid if needed).
@@ -303,6 +334,9 @@ class HeDomain {
   SmrCounters counters_;
   std::atomic<std::uint64_t> clock_{1};
   asymfence::Path fence_path_;
+  // Declared before the registry: handles hold raw cell pointers, so the
+  // cell list must be destroyed after the records are.
+  obs::DomainStats stats_obs_;
   HandleRegistry<Handle> registry_;
   OrphanList orphans_;
   TidHandleShim<Handle> shim_;

@@ -30,6 +30,8 @@
 #include "common/align.hpp"
 #include "common/asymfence.hpp"
 #include "common/chunked_list.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "smr/handle_core.hpp"
 #include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
@@ -57,6 +59,7 @@ class HazardPointerDomain {
     // HazardPointerDomain is a template, so the base is dependent and its
     // members need explicit re-introduction.
     using Base::dom_;
+    using Base::stats_;
     using Base::tid_;
 
    public:
@@ -136,22 +139,32 @@ class HazardPointerDomain {
     void retire(ReclaimNode* n) {
       n->debug_state = kNodeRetired;
       limbo_.push(n);
-      if (!dom_->orphans_.empty()) adopt_orphans(dom_->orphans_, limbo_);
+      if (!dom_->orphans_.empty() &&
+          adopt_orphans(dom_->orphans_, limbo_) > 0) {
+        obs::count(stats_, obs::Counter::kOrphanAdoptions);
+        obs::trace_instant(obs::TraceKind::kAdopt);
+      }
       dom_->counters_.on_retire(dom_->cfg_.track_stats);
+      obs::count(stats_, obs::Counter::kRetires);
+      obs::peak(stats_, limbo_.count);
       if (limbo_.count >= dom_->cfg_.scan_threshold) scan();
     }
 
     std::uint64_t on_alloc_era() noexcept { return 0; }
 
     void scan() {
+      obs::TraceSpan span(obs::TraceKind::kScan);
+      const std::uint64_t stats_t0 = obs::scan_begin(stats_);
       // One heavy barrier covers the whole scan batch: every node in the
       // limbo list was unlinked (and retired) before this point, so a
       // reader publication the barrier does not surface belongs to a
       // validating re-read that is ordered after the unlink and retries.
       // The registry head is read after the barrier, so the same argument
       // covers records of late-joining threads (DESIGN.md §7).
-      if (dom_->fence_path_ != asymfence::Path::kClassic)
+      if (dom_->fence_path_ != asymfence::Path::kClassic) {
         asymfence::heavy_barrier(dom_->fence_path_);
+        obs::count(stats_, obs::Counter::kHeavyBarriers);
+      }
       std::uint64_t freed = 0;
       if constexpr (kSnapshotScan) {
         snapshot_.clear();
@@ -182,6 +195,7 @@ class HazardPointerDomain {
         }
       }
       dom_->counters_.on_free(freed, dom_->cfg_.track_stats);
+      obs::scan_end(stats_, stats_t0, freed);
     }
 
     unsigned limbo_size() const noexcept { return limbo_.count; }
@@ -221,6 +235,8 @@ class HazardPointerDomain {
         registry_.acquire([this](unsigned idx) { return Handle(this, idx); });
     rec->handle.registry_record_ = rec;
     pool_.ensure_shards(rec->index + 1);
+    obs::count(rec->handle.stats_, obs::Counter::kJoins);
+    obs::trace_instant(obs::TraceKind::kJoin);
     return rec->handle;
   }
 
@@ -230,8 +246,11 @@ class HazardPointerDomain {
     h.end_op();
     if (h.limbo_.count > 0) {
       h.scan();
-      donate_limbo(h.limbo_, orphans_);
+      if (donate_limbo(h.limbo_, orphans_) > 0)
+        obs::count(h.stats_, obs::Counter::kOrphanDonations);
     }
+    obs::count(h.stats_, obs::Counter::kLeaves);
+    obs::trace_instant(obs::TraceKind::kLeave);
     registry_.release(record_of(h));
   }
 
@@ -252,6 +271,18 @@ class HazardPointerDomain {
   }
   const SmrCounters& counters() const noexcept { return counters_; }
   asymfence::Path fence_path() const noexcept { return fence_path_; }
+
+  // Observability (DESIGN.md §8): the per-handle cell list and the
+  // aggregated snapshot.
+  obs::DomainStats& obs_stats() noexcept { return stats_obs_; }
+  obs::StatsSnapshot stats() const {
+    obs::StatsSnapshot s = stats_obs_.snapshot();
+    s.enabled = SCOT_STATS != 0 && cfg_.track_stats;
+    s.pending = pending_nodes();
+    s.retired_total = counters_.retired.load(std::memory_order_relaxed);
+    s.reclaimed_total = counters_.reclaimed.load(std::memory_order_relaxed);
+    return s;
+  }
 
   // Test/introspection accessor for a tid-indexed slot (routes through the
   // deprecated shim, joining the tid if needed).
@@ -319,6 +350,9 @@ class HazardPointerDomain {
   NodePool pool_;
   SmrCounters counters_;
   asymfence::Path fence_path_;
+  // Declared before the registry: handles hold raw cell pointers, so the
+  // cell list must be destroyed after the records are.
+  obs::DomainStats stats_obs_;
   HandleRegistry<Handle> registry_;
   OrphanList orphans_;
   TidHandleShim<Handle> shim_;

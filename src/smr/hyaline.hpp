@@ -39,6 +39,8 @@
 
 #include "common/align.hpp"
 #include "common/asymfence.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "smr/handle_core.hpp"
 #include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
@@ -130,8 +132,13 @@ class HyalineDomain {
       n->retire_era = dom_->clock_.load(std::memory_order_acquire);
       n->batch = nullptr;
       push_to_batch(n);
-      if (!dom_->orphans_.empty()) adopt_orphans();
+      if (!dom_->orphans_.empty() && adopt_orphans() > 0) {
+        obs::count(stats_, obs::Counter::kOrphanAdoptions);
+        obs::trace_instant(obs::TraceKind::kAdopt);
+      }
       dom_->counters_.on_retire(dom_->cfg_.track_stats);
+      obs::count(stats_, obs::Counter::kRetires);
+      obs::peak(stats_, batch_count_);
       era_tick();
       if (batch_count_ >= required_batch()) seal_batch();
     }
@@ -152,6 +159,7 @@ class HyalineDomain {
       if (++tick_ >= dom_->cfg_.era_freq) {
         tick_ = 0;
         dom_->clock_.fetch_add(1, std::memory_order_acq_rel);
+        obs::count(stats_, obs::Counter::kEraAdvances);
       }
     }
 
@@ -165,14 +173,18 @@ class HyalineDomain {
     }
 
     // Splices every orphaned retire (a departed thread's unsealed batch)
-    // into this thread's batch, restoring the min-birth bound.
-    void adopt_orphans() noexcept {
+    // into this thread's batch, restoring the min-birth bound.  Returns
+    // the number of nodes adopted (0 = the mailbox was raced empty).
+    unsigned adopt_orphans() noexcept {
       ReclaimNode* n = dom_->orphans_.take_all();
+      unsigned adopted = 0;
       while (n != nullptr) {
         ReclaimNode* next = n->smr_next;
         push_to_batch(n);
+        ++adopted;
         n = next;
       }
+      return adopted;
     }
 
     // A batch needs one member node per live registry record (each
@@ -187,14 +199,21 @@ class HyalineDomain {
     }
 
     // Hands the accumulated batch to all active, era-overlapping slots.
+    // The batch seal is Hyaline's reclaim cadence, so it carries the kScans
+    // counter and the scan-latency histogram (nodes are counted as
+    // reclaimed later, in free_batch, when the last reference drops).
     void seal_batch() {
+      obs::TraceSpan span(obs::TraceKind::kSeal);
+      const std::uint64_t stats_t0 = obs::scan_begin(stats_);
       // Surface in-flight activations before reading the slots: every node
       // in this batch was unlinked before it was retired, so an activation
       // the barrier does not surface belongs to a thread whose shared
       // loads are all ordered after those unlinks — it cannot reach any
       // node of this batch, and skipping its slot is safe (DESIGN.md §5).
-      if (dom_->fence_path_ != asymfence::Path::kClassic)
+      if (dom_->fence_path_ != asymfence::Path::kClassic) {
         asymfence::heavy_barrier(dom_->fence_path_);
+        obs::count(stats_, obs::Counter::kHeavyBarriers);
+      }
       // Snapshot the registry AFTER the barrier.  Records pushed after
       // this read are skippable by the same argument as an un-surfaced
       // activation; records in the snapshot cover every thread that could
@@ -207,6 +226,7 @@ class HyalineDomain {
         // not enough member nodes to give every slot a distinct entry.
         // Keep accumulating; the next retire re-checks against the larger
         // required_batch().
+        obs::scan_end(stats_, stats_t0, 0);
         return;
       }
       auto* bh = new BatchHandle;
@@ -243,6 +263,7 @@ class HyalineDomain {
       batch_head_ = nullptr;
       batch_count_ = 0;
       batch_min_birth_ = 0;
+      obs::scan_end(stats_, stats_t0, 0);
       adjust(bh, inserted - kGuard);
     }
 
@@ -272,6 +293,9 @@ class HyalineDomain {
       }
       assert(freed == bh->count);
       dom_->counters_.on_free(freed, dom_->cfg_.track_stats);
+      // Charged to the handle that dropped the last reference ("reclamation
+      // by any thread"), which is always the calling thread — single-writer.
+      obs::count(stats_, obs::Counter::kNodesReclaimed, freed);
       delete bh;
     }
 
@@ -307,6 +331,8 @@ class HyalineDomain {
         registry_.acquire([this](unsigned idx) { return Handle(this, idx); });
     rec->handle.registry_record_ = rec;
     pool_.ensure_shards(rec->index + 1);
+    obs::count(rec->handle.stats_, obs::Counter::kJoins);
+    obs::trace_instant(obs::TraceKind::kJoin);
     return rec->handle;
   }
 
@@ -324,7 +350,10 @@ class HyalineDomain {
       h.batch_head_ = nullptr;
       h.batch_count_ = 0;
       h.batch_min_birth_ = 0;
+      obs::count(h.stats_, obs::Counter::kOrphanDonations);
     }
+    obs::count(h.stats_, obs::Counter::kLeaves);
+    obs::trace_instant(obs::TraceKind::kLeave);
     registry_.release(record_of(h));
   }
 
@@ -351,6 +380,18 @@ class HyalineDomain {
   // upward to the live registry size (see Handle::required_batch).
   unsigned batch_capacity() const noexcept { return batch_capacity_; }
   asymfence::Path fence_path() const noexcept { return fence_path_; }
+
+  // Observability (DESIGN.md §8): the per-handle cell list and the
+  // aggregated snapshot.
+  obs::DomainStats& obs_stats() noexcept { return stats_obs_; }
+  obs::StatsSnapshot stats() const {
+    obs::StatsSnapshot s = stats_obs_.snapshot();
+    s.enabled = SCOT_STATS != 0 && cfg_.track_stats;
+    s.pending = pending_nodes();
+    s.retired_total = counters_.retired.load(std::memory_order_relaxed);
+    s.reclaimed_total = counters_.reclaimed.load(std::memory_order_relaxed);
+    return s;
+  }
 
  private:
   friend class Handle;
@@ -395,6 +436,9 @@ class HyalineDomain {
   std::atomic<std::uint64_t> clock_{1};
   unsigned batch_capacity_;
   asymfence::Path fence_path_;
+  // Declared before the registry: handles hold raw cell pointers, so the
+  // cell list must be destroyed after the records are.
+  obs::DomainStats stats_obs_;
   HandleRegistry<Handle> registry_;
   OrphanList orphans_;
   TidHandleShim<Handle> shim_;

@@ -35,6 +35,8 @@
 #include <cstdint>
 
 #include "common/align.hpp"
+#include "obs/stats.hpp"
+#include "obs/trace.hpp"
 #include "smr/handle_core.hpp"
 #include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
@@ -71,6 +73,7 @@ class NoReclaimDomain {
     void retire(ReclaimNode* n) noexcept {
       n->debug_state = kNodeRetired;
       dom_->counters_.on_retire(dom_->cfg_.track_stats);
+      obs::count(stats_, obs::Counter::kRetires);
     }
 
     std::uint64_t on_alloc_era() noexcept { return 0; }
@@ -87,13 +90,19 @@ class NoReclaimDomain {
         registry_.acquire([this](unsigned idx) { return Handle(this, idx); });
     rec->handle.registry_record_ = rec;
     pool_.ensure_shards(rec->index + 1);
+    obs::count(rec->handle.stats_, obs::Counter::kJoins);
+    obs::trace_instant(obs::TraceKind::kJoin);
     return rec->handle;
   }
 
   // Returns the handle's record for reuse.  Contract: no operation in
   // flight.  NR has no per-thread reclamation state to hand off; the
   // reclaiming schemes scan and donate leftover retires here.
-  void leave(Handle& h) { registry_.release(record_of(h)); }
+  void leave(Handle& h) {
+    obs::count(h.stats_, obs::Counter::kLeaves);
+    obs::trace_instant(obs::TraceKind::kLeave);
+    registry_.release(record_of(h));
+  }
 
   unsigned active_handles() const noexcept { return registry_.active(); }
   std::size_t total_handle_records() const noexcept {
@@ -112,6 +121,18 @@ class NoReclaimDomain {
   }
   const SmrCounters& counters() const noexcept { return counters_; }
 
+  // Observability (DESIGN.md §8): the per-handle cell list and the
+  // aggregated snapshot.
+  obs::DomainStats& obs_stats() noexcept { return stats_obs_; }
+  obs::StatsSnapshot stats() const {
+    obs::StatsSnapshot s = stats_obs_.snapshot();
+    s.enabled = SCOT_STATS != 0 && cfg_.track_stats;
+    s.pending = pending_nodes();
+    s.retired_total = counters_.retired.load(std::memory_order_relaxed);
+    s.reclaimed_total = counters_.reclaimed.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   friend class Handle;
 
@@ -123,6 +144,9 @@ class NoReclaimDomain {
   SmrConfig cfg_;
   NodePool pool_;
   SmrCounters counters_;
+  // Declared before the registry: handles hold raw cell pointers, so the
+  // cell list must be destroyed after the records are.
+  obs::DomainStats stats_obs_;
   HandleRegistry<Handle> registry_;
   TidHandleShim<Handle> shim_;
 };

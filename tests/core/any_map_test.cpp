@@ -73,6 +73,21 @@ TEST(AnyMap, ReportsItsIdentity) {
   EXPECT_EQ(map->max_threads(), 2u);
 }
 
+TEST(AnyMap, StatsSnapshotReflectsWorkload) {
+  auto map = AnyMap::make(SchemeId::kEBR, StructureId::kHMList,
+                          small_options());
+  ASSERT_TRUE(map.has_value());
+  for (std::uint64_t k = 0; k < 32; ++k) ASSERT_TRUE(map->insert(0, k, k));
+  for (std::uint64_t k = 0; k < 32; ++k) ASSERT_TRUE(map->erase(0, k));
+  const obs::StatsSnapshot s = map->stats();
+  if (!s.enabled) GTEST_SKIP() << "stats compiled out (SCOT_STATS=0)";
+  // Every erase retires the unlinked node through the facade's domain.
+  EXPECT_GE(s.retires, 32u);
+  EXPECT_EQ(s.retires, s.retired_total);
+  EXPECT_GT(s.joins, 0u);
+  EXPECT_NE(s.to_string().find("retires: "), std::string::npos);
+}
+
 // Single-threaded set/map semantics + iterate smoke + leak check, for every
 // registered cell.
 TEST(AnyMap, EveryCellSingleThreadedSemantics) {

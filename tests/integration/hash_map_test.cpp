@@ -17,7 +17,8 @@ TYPED_TEST_SUITE(HashMapTest, test::AllSchemes);
 TYPED_TEST(HashMapTest, BasicSemantics) {
   TypeParam smr(test::small_config());
   HashMap<Key, Val, TypeParam> map(smr, 16);
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   EXPECT_EQ(map.bucket_count(), 16u);
   EXPECT_FALSE(map.contains(h, 1));
   EXPECT_TRUE(map.insert(h, 1, 100));
@@ -31,7 +32,8 @@ TYPED_TEST(HashMapTest, BasicSemantics) {
 TYPED_TEST(HashMapTest, KeysSpreadAcrossBuckets) {
   TypeParam smr(test::small_config());
   HashMap<Key, Val, TypeParam> map(smr, 8);
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   for (Key k = 0; k < 400; ++k) ASSERT_TRUE(map.insert(h, k, k));
   EXPECT_EQ(map.size_unsafe(), 400u);
   for (Key k = 0; k < 400; ++k) {
@@ -45,7 +47,8 @@ TYPED_TEST(HashMapTest, SingleBucketDegeneratesToList) {
   // (this exercises SCOT list behaviour through the map adapter).
   TypeParam smr(test::small_config());
   HashMap<Key, Val, TypeParam> map(smr, 1);
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   for (Key k = 0; k < 100; ++k) ASSERT_TRUE(map.insert(h, k, k));
   for (Key k = 0; k < 100; k += 2) ASSERT_TRUE(map.erase(h, k));
   for (Key k = 0; k < 100; ++k) EXPECT_EQ(map.contains(h, k), k % 2 == 1);
@@ -55,7 +58,8 @@ TYPED_TEST(HashMapTest, ConcurrentMixedChurnCoherence) {
   TypeParam smr(test::small_config(4));
   HashMap<Key, Val, TypeParam> map(smr, 32);
   test::run_threads(4, [&](unsigned tid) {
-    auto& h = smr.handle(tid);
+    auto sh = scoped_handle(smr);
+    auto& h = sh.get();
     Xoshiro256 rng(tid + 1);
     for (int i = 0; i < 30000; ++i) {
       const Key k = rng.next_in(256);
@@ -73,7 +77,8 @@ TYPED_TEST(HashMapTest, ConcurrentMixedChurnCoherence) {
       }
     }
   });
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   for (Key k = 0; k < 256; ++k) {
     { const bool was_present = map.contains(h, k); const bool erased = map.erase(h, k); EXPECT_EQ(was_present, erased) << "key " << k; }
   }
@@ -83,7 +88,8 @@ TYPED_TEST(HashMapTest, ConcurrentMixedChurnCoherence) {
 TYPED_TEST(HashMapTest, WaitFreeTraitsCompose) {
   TypeParam smr(test::small_config(2));
   HashMap<Key, Val, TypeParam, HarrisListWaitFreeTraits> map(smr, 4);
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   for (Key k = 0; k < 64; ++k) ASSERT_TRUE(map.insert(h, k, k));
   for (Key k = 0; k < 64; ++k) EXPECT_TRUE(map.contains(h, k));
   for (Key k = 0; k < 64; ++k) ASSERT_TRUE(map.erase(h, k));

@@ -53,9 +53,9 @@ void hammer(bool asym, std::uint64_t seed) {
 
   std::vector<std::atomic<ReclaimNode*>> src(kSources);
   {
-    auto& w = smr.handle(kReaders);
+    auto w = scoped_handle(smr);
     for (unsigned i = 0; i < kSources; ++i)
-      src[i].store(w.template alloc<StressNode>(std::uint64_t{i}),
+      src[i].store(w->template alloc<StressNode>(std::uint64_t{i}),
                    std::memory_order_release);
   }
 
@@ -94,7 +94,8 @@ void hammer(bool asym, std::uint64_t seed) {
       }
       return;
     }
-    auto& h = smr.handle(tid);
+    auto sh = scoped_handle(smr);
+    auto& h = sh.get();
     Xoshiro256 rng(seed * 0x2545f491 + tid);
     if (tid == kReaders) {
       // Writer: swap a source to a fresh uniquely-tagged node, retire the

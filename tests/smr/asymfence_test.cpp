@@ -73,8 +73,10 @@ TYPED_TEST(AsymFenceTest, FallbackScansStillQuiesceReaders) {
   TypeParam smr(cfg);
   ASSERT_EQ(smr.fence_path(), asymfence::Path::kFenceFallback);
 
-  auto& reader = smr.handle(0);
-  auto& writer = smr.handle(1);
+  auto reader_h = scoped_handle(smr);
+  auto writer_h = scoped_handle(smr);
+  auto& reader = reader_h.get();
+  auto& writer = writer_h.get();
   auto* victim = writer.template alloc<TestNode>(std::uint64_t{42});
   std::atomic<ReclaimNode*> src{victim};
 
@@ -101,8 +103,10 @@ TYPED_TEST(AsymFenceTest, ProtectionHoldsOnEveryPath) {
     cfg.asymmetric_fences = asym;
     TypeParam smr(cfg);
 
-    auto& reader = smr.handle(0);
-    auto& writer = smr.handle(1);
+    auto reader_h = scoped_handle(smr);
+    auto writer_h = scoped_handle(smr);
+    auto& reader = reader_h.get();
+    auto& writer = writer_h.get();
     auto* victim = writer.template alloc<TestNode>(std::uint64_t{7});
     std::atomic<ReclaimNode*> src{victim};
 

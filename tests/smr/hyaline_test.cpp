@@ -14,7 +14,8 @@ TEST(Hyaline, BatchSealsAtCapacity) {
   auto cfg = test::small_config(2);
   HyalineDomain smr(cfg);
   EXPECT_EQ(smr.batch_capacity(), 3u);  // max_threads + 1
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   // Below capacity: nodes accumulate in the open batch, nothing freed.
   for (int i = 0; i < 2; ++i) {
     auto* n = h.template alloc<TestNode>(std::uint64_t(i));
@@ -32,8 +33,10 @@ TEST(Hyaline, BatchSealsAtCapacity) {
 TEST(Hyaline, ActiveSlotHoldsBatchUntilLeave) {
   auto cfg = test::small_config(2);
   HyalineDomain smr(cfg);
-  auto& reader = smr.handle(0);
-  auto& writer = smr.handle(1);
+  auto reader_h = scoped_handle(smr);
+  auto writer_h = scoped_handle(smr);
+  auto& reader = reader_h.get();
+  auto& writer = writer_h.get();
   reader.begin_op();
   TestNode* nodes[3];
   for (auto*& p : nodes) {
@@ -56,8 +59,10 @@ TEST(Hyaline, YoungNodeTriggersRestartSignal) {
   auto cfg = test::small_config(2);
   cfg.era_freq = 1;  // every allocation advances the era
   HyalineDomain smr(cfg);
-  auto& reader = smr.handle(0);
-  auto& writer = smr.handle(1);
+  auto reader_h = scoped_handle(smr);
+  auto writer_h = scoped_handle(smr);
+  auto& reader = reader_h.get();
+  auto& writer = writer_h.get();
 
   reader.begin_op();
   const std::uint64_t era_before = reader.reservation_era();
@@ -86,8 +91,10 @@ TEST(Hyaline, OldNodeDoesNotTriggerRestart) {
   auto cfg = test::small_config(2);
   cfg.era_freq = 1;
   HyalineDomain smr(cfg);
-  auto& reader = smr.handle(0);
-  auto& writer = smr.handle(1);
+  auto reader_h = scoped_handle(smr);
+  auto writer_h = scoped_handle(smr);
+  auto& reader = reader_h.get();
+  auto& writer = writer_h.get();
   auto* old_node = writer.template alloc<TestNode>(std::uint64_t{1});
   reader.begin_op();
   std::atomic<ReclaimNode*> src{old_node};
@@ -104,8 +111,10 @@ TEST(Hyaline, EraFilterSkipsPreEntryThreads) {
   auto cfg = test::small_config(2);
   cfg.era_freq = 1;
   HyalineDomain smr(cfg);
-  auto& stalled = smr.handle(0);
-  auto& writer = smr.handle(1);
+  auto stalled_h = scoped_handle(smr);
+  auto writer_h = scoped_handle(smr);
+  auto& stalled = stalled_h.get();
+  auto& writer = writer_h.get();
   stalled.begin_op();  // era E
   // All of these are born after E, so their batches must skip the slot.
   for (int i = 0; i < 12; ++i) {
@@ -120,8 +129,10 @@ TEST(Hyaline, EraFilterSkipsPreEntryThreads) {
 TEST(Hyaline, CrossThreadReclamationMigratesMemory) {
   auto cfg = test::small_config(2);
   HyalineDomain smr(cfg);
-  auto& reader = smr.handle(0);
-  auto& writer = smr.handle(1);
+  auto reader_h = scoped_handle(smr);
+  auto writer_h = scoped_handle(smr);
+  auto& reader = reader_h.get();
+  auto& writer = writer_h.get();
   const auto reused_before = smr.pool().total_reused();
   reader.begin_op();
   for (int i = 0; i < 3; ++i) {
@@ -141,7 +152,8 @@ TEST(Hyaline, ConcurrentEnterLeaveRetireStress) {
   cfg.era_freq = 2;
   HyalineDomain smr(cfg);
   test::run_threads(4, [&](unsigned tid) {
-    auto& h = smr.handle(tid);
+    auto sh = scoped_handle(smr);
+    auto& h = sh.get();
     Xoshiro256 rng(tid);
     for (int i = 0; i < 20000; ++i) {
       h.begin_op();

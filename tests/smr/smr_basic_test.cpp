@@ -21,7 +21,8 @@ TYPED_TEST(SmrBasicTest, NamesAndFlagsArePopulated) {
 
 TYPED_TEST(SmrBasicTest, AllocConstructsAndStampsMetadata) {
   TypeParam smr(test::small_config());
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   auto* n = h.template alloc<TestNode>(std::uint64_t{77});
   ASSERT_NE(n, nullptr);
   EXPECT_EQ(n->payload, 77u);
@@ -32,7 +33,8 @@ TYPED_TEST(SmrBasicTest, AllocConstructsAndStampsMetadata) {
 
 TYPED_TEST(SmrBasicTest, DeallocUnpublishedRecyclesWithoutRetire) {
   TypeParam smr(test::small_config());
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   auto* a = h.template alloc<TestNode>(std::uint64_t{1});
   h.dealloc_unpublished(a);
   EXPECT_EQ(smr.pending_nodes(), 0) << "unpublished nodes never hit limbo";
@@ -44,7 +46,8 @@ TYPED_TEST(SmrBasicTest, DeallocUnpublishedRecyclesWithoutRetire) {
 
 TYPED_TEST(SmrBasicTest, RetireRaisesPendingGauge) {
   TypeParam smr(test::small_config());
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   auto* n = h.template alloc<TestNode>(std::uint64_t{0});
   h.retire(n);
   EXPECT_GE(smr.pending_nodes(), 1);
@@ -53,7 +56,8 @@ TYPED_TEST(SmrBasicTest, RetireRaisesPendingGauge) {
 
 TYPED_TEST(SmrBasicTest, QuiescentChurnEventuallyReclaims) {
   TypeParam smr(test::small_config());
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   // No operation is in flight, so every scheme except NR must be able to
   // recycle retired nodes once scan thresholds are crossed.
   test::churn_retire(h, 2000);
@@ -68,7 +72,8 @@ TYPED_TEST(SmrBasicTest, QuiescentChurnEventuallyReclaims) {
 
 TYPED_TEST(SmrBasicTest, PendingGaugeBalancesRetiresAndFrees) {
   TypeParam smr(test::small_config());
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   test::churn_retire(h, 500);
   const auto retired = smr.counters().retired.load();
   const auto reclaimed = smr.counters().reclaimed.load();
@@ -78,7 +83,8 @@ TYPED_TEST(SmrBasicTest, PendingGaugeBalancesRetiresAndFrees) {
 
 TYPED_TEST(SmrBasicTest, BeginEndOpAreReentrantAcrossOperations) {
   TypeParam smr(test::small_config());
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   for (int i = 0; i < 100; ++i) {
     h.begin_op();
     h.revalidate_op();
@@ -98,7 +104,8 @@ TYPED_TEST(SmrBasicTest, TrackStatsOffSilencesGauge) {
   auto cfg = test::small_config();
   cfg.track_stats = false;
   TypeParam smr(cfg);
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   test::churn_retire(h, 100);
   EXPECT_EQ(smr.counters().retired.load(), 0u);
 }
@@ -107,7 +114,8 @@ TYPED_TEST(SmrBasicTest, DomainTeardownFreesLimbo) {
   // Covered implicitly by ASAN-less leak hygiene: this simply exercises the
   // destructor path with a populated limbo list / open batch.
   TypeParam smr(test::small_config());
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   for (int i = 0; i < 7; ++i) {
     auto* n = h.template alloc<TestNode>(std::uint64_t{1});
     h.retire(n);
@@ -118,7 +126,8 @@ TYPED_TEST(SmrBasicTest, DomainTeardownFreesLimbo) {
 TYPED_TEST(SmrBasicTest, ConcurrentAllocRetireIsCoherent) {
   TypeParam smr(test::small_config(4));
   test::run_threads(4, [&](unsigned tid) {
-    auto& h = smr.handle(tid);
+    auto sh = scoped_handle(smr);
+    auto& h = sh.get();
     for (int i = 0; i < 5000; ++i) {
       h.begin_op();
       auto* n = h.template alloc<TestNode>(std::uint64_t{tid});

@@ -17,7 +17,8 @@ TEST(EbrEdge, EpochAdvancesOnlyOnRetireTicks) {
   auto cfg = test::small_config(2);
   cfg.era_freq = 4;
   EbrDomain smr(cfg);
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   const std::uint64_t e0 = smr.epoch();
   for (int i = 0; i < 3; ++i) {
     auto* n = h.template alloc<TestNode>(std::uint64_t{0});
@@ -31,10 +32,11 @@ TEST(EbrEdge, EpochAdvancesOnlyOnRetireTicks) {
 
 TEST(EbrEdge, MinReservationIgnoresIdleThreads) {
   EbrDomain smr(test::small_config(4));
+  auto h = scoped_handle(smr);
   EXPECT_EQ(smr.min_reservation(), EbrDomain::kIdle);
-  smr.handle(2).begin_op();
+  h->begin_op();
   EXPECT_LT(smr.min_reservation(), EbrDomain::kIdle);
-  smr.handle(2).end_op();
+  h->end_op();
   EXPECT_EQ(smr.min_reservation(), EbrDomain::kIdle);
 }
 
@@ -43,8 +45,9 @@ TEST(HeEdge, EraClockIsMonotoneUnderConcurrentTicks) {
   cfg.era_freq = 1;
   HeDomain smr(cfg);
   std::atomic<std::uint64_t> max_seen{0};
-  test::run_threads(4, [&](unsigned tid) {
-    auto& h = smr.handle(tid);
+  test::run_threads(4, [&](unsigned) {
+    auto sh = scoped_handle(smr);
+    auto& h = sh.get();
     std::uint64_t last = 0;
     for (int i = 0; i < 5000; ++i) {
       auto* n = h.template alloc<TestNode>(std::uint64_t{0});
@@ -62,7 +65,8 @@ TEST(HeEdge, EraClockIsMonotoneUnderConcurrentTicks) {
 
 TEST(HeEdge, SlotReuseAcrossOperationsIsClean) {
   HeDomain smr(test::small_config(2));
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   auto* n = h.template alloc<TestNode>(std::uint64_t{0});
   std::atomic<ReclaimNode*> src{n};
   for (int op = 0; op < 50; ++op) {
@@ -79,7 +83,8 @@ TEST(HeEdge, SlotReuseAcrossOperationsIsClean) {
 
 TEST(HpEdge, SlotsClearAfterOp) {
   HpDomain smr(test::small_config(2));
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   auto* n = h.template alloc<TestNode>(std::uint64_t{0});
   std::atomic<ReclaimNode*> src{n};
   h.begin_op();
@@ -114,8 +119,10 @@ TEST(IbrEdge, UpperBoundWidensDuringOperation) {
   auto cfg = test::small_config(2);
   cfg.era_freq = 1;
   IbrDomain smr(cfg);
-  auto& reader = smr.handle(0);
-  auto& writer = smr.handle(1);
+  auto reader_h = scoped_handle(smr);
+  auto writer_h = scoped_handle(smr);
+  auto& reader = reader_h.get();
+  auto& writer = writer_h.get();
   auto* n = writer.template alloc<TestNode>(std::uint64_t{0});
   std::atomic<ReclaimNode*> src{n};
   reader.begin_op();
@@ -143,8 +150,10 @@ TEST(IbrEdge, DisjointLifetimeReclaimsDespiteActiveReader) {
   cfg.era_freq = 1;
   cfg.scan_threshold = 4;
   IbrDomain smr(cfg);
-  auto& reader = smr.handle(0);
-  auto& writer = smr.handle(1);
+  auto reader_h = scoped_handle(smr);
+  auto writer_h = scoped_handle(smr);
+  auto& reader = reader_h.get();
+  auto& writer = writer_h.get();
   reader.begin_op();  // interval [e, e]
   // Nodes born and retired strictly after the reader's interval.
   for (int i = 0; i < 64; ++i) {
@@ -158,7 +167,8 @@ TEST(IbrEdge, DisjointLifetimeReclaimsDespiteActiveReader) {
 
 TEST(NrEdge, RetireIsTerminal) {
   NoReclaimDomain smr(test::small_config(1));
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   auto* n = h.template alloc<TestNode>(std::uint64_t{7});
   h.retire(n);
   EXPECT_EQ(n->debug_state, kNodeRetired);
@@ -186,7 +196,8 @@ TEST(SchemeMatrix, ConcurrentProtectScanInterleaving) {
     std::atomic<ReclaimNode*> hot{nullptr};
     std::atomic<bool> stop{false};
     test::run_threads(2, [&](unsigned tid) {
-      auto& h = smr.handle(tid);
+      auto sh = scoped_handle(smr);
+      auto& h = sh.get();
       if (tid == 0) {
         Xoshiro256 rng(9);
         for (int i = 0; i < 30000; ++i) {

@@ -17,7 +17,8 @@ TYPED_TEST_SUITE(SmrProtectionTest, test::AllSchemes);
 
 TYPED_TEST(SmrProtectionTest, ProtectReturnsCurrentValue) {
   TypeParam smr(test::small_config());
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   auto* n = h.template alloc<TestNode>(std::uint64_t{5});
   std::atomic<ReclaimNode*> src{n};
   h.begin_op();
@@ -28,7 +29,8 @@ TYPED_TEST(SmrProtectionTest, ProtectReturnsCurrentValue) {
 
 TYPED_TEST(SmrProtectionTest, ProtectHandlesNullSource) {
   TypeParam smr(test::small_config());
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   std::atomic<ReclaimNode*> src{nullptr};
   h.begin_op();
   EXPECT_EQ(h.protect(src, 0), nullptr);
@@ -38,7 +40,8 @@ TYPED_TEST(SmrProtectionTest, ProtectHandlesNullSource) {
 
 TYPED_TEST(SmrProtectionTest, ProtectWorksOnMarkedPointers) {
   TypeParam smr(test::small_config());
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   auto* n = h.template alloc<TestNode>(std::uint64_t{5});
   using MP = marked_ptr<TestNode>;
   std::atomic<MP> src{MP(n).with_mark()};
@@ -58,8 +61,10 @@ TYPED_TEST(SmrProtectionTest, ProtectedNodeSurvivesRetireChurn) {
   if constexpr (std::is_same_v<TypeParam, NoReclaimDomain>) {
     GTEST_SKIP() << "NR never reclaims; nothing to verify";
   } else {
-    auto& reader = smr.handle(0);
-    auto& writer = smr.handle(1);
+    auto reader_h = scoped_handle(smr);
+    auto writer_h = scoped_handle(smr);
+    auto& reader = reader_h.get();
+    auto& writer = writer_h.get();
     auto* victim = writer.template alloc<TestNode>(std::uint64_t{42});
     std::atomic<ReclaimNode*> src{victim};
 
@@ -83,8 +88,10 @@ TYPED_TEST(SmrProtectionTest, ReleasedNodeIsEventuallyReclaimed) {
   if constexpr (std::is_same_v<TypeParam, NoReclaimDomain>) {
     GTEST_SKIP() << "NR never reclaims";
   } else {
-    auto& reader = smr.handle(0);
-    auto& writer = smr.handle(1);
+    auto reader_h = scoped_handle(smr);
+    auto writer_h = scoped_handle(smr);
+    auto& reader = reader_h.get();
+    auto& writer = writer_h.get();
     auto* victim = writer.template alloc<TestNode>(std::uint64_t{42});
     std::atomic<ReclaimNode*> src{victim};
 
@@ -118,8 +125,10 @@ TYPED_TEST(SmrProtectionTest, DupTransfersProtectionUpward) {
   if constexpr (!TypeParam::kRobust) {
     GTEST_SKIP() << "dup is only meaningful for slot/era-based schemes";
   } else {
-    auto& reader = smr.handle(0);
-    auto& writer = smr.handle(1);
+    auto reader_h = scoped_handle(smr);
+    auto writer_h = scoped_handle(smr);
+    auto& reader = reader_h.get();
+    auto& writer = writer_h.get();
     auto* victim = writer.template alloc<TestNode>(std::uint64_t{7});
     auto* other = writer.template alloc<TestNode>(std::uint64_t{8});
     std::atomic<ReclaimNode*> src{victim};
@@ -145,8 +154,10 @@ TYPED_TEST(SmrProtectionTest, MultipleIndependentSlots) {
   if constexpr (std::is_same_v<TypeParam, NoReclaimDomain>) {
     GTEST_SKIP();
   } else {
-    auto& reader = smr.handle(0);
-    auto& writer = smr.handle(1);
+    auto reader_h = scoped_handle(smr);
+    auto writer_h = scoped_handle(smr);
+    auto& reader = reader_h.get();
+    auto& writer = writer_h.get();
     TestNode* nodes[4];
     std::vector<std::atomic<ReclaimNode*>> srcs(4);
     reader.begin_op();
@@ -166,7 +177,8 @@ TYPED_TEST(SmrProtectionTest, MultipleIndependentSlots) {
 
 TYPED_TEST(SmrProtectionTest, OpValidDefaultsTrue) {
   TypeParam smr(test::small_config());
-  auto& h = smr.handle(0);
+  auto sh = scoped_handle(smr);
+  auto& h = sh.get();
   h.begin_op();
   EXPECT_TRUE(h.op_valid());
   h.revalidate_op();

@@ -20,8 +20,10 @@ TYPED_TEST_SUITE(SmrRobustnessTest, test::ReclaimingSchemes);
 // participating while a writer churns through fresh allocate/retire cycles.
 template <class Smr>
 std::int64_t pending_after_stalled_churn(Smr& smr, int churn) {
-  auto& stalled = smr.handle(0);
-  auto& writer = smr.handle(1);
+  auto stalled_h = scoped_handle(smr);
+  auto writer_h = scoped_handle(smr);
+  auto& stalled = stalled_h.get();
+  auto& writer = writer_h.get();
   auto* old_node = writer.template alloc<TestNode>(std::uint64_t{1});
   std::atomic<ReclaimNode*> src{old_node};
   stalled.begin_op();
@@ -51,8 +53,8 @@ TYPED_TEST(SmrRobustnessTest, ResumedThreadUnblocksReclamation) {
   TypeParam smr(test::small_config(2));
   (void)pending_after_stalled_churn(smr, test::scaled_iters(20000));
   // (end_op() happens inside pending_after_stalled_churn.)
-  auto& writer = smr.handle(1);
-  test::churn_retire(writer, 4000);  // new scans after the stall cleared
+  auto writer_h = scoped_handle(smr);
+  test::churn_retire(writer_h.get(), 4000);  // new scans after the stall
   EXPECT_LT(smr.pending_nodes(), 2048)
       << "all schemes must recover once the stalled thread resumes";
 }
@@ -74,16 +76,18 @@ TYPED_TEST(SmrRobustnessTest, ManyStalledReadersStillBounded) {
     GTEST_SKIP();
   } else {
     TypeParam smr(test::small_config(4));
-    auto& writer = smr.handle(3);
+    auto writer_h = scoped_handle(smr);
+    auto& writer = writer_h.get();
     std::vector<TestNode*> victims;
     std::vector<std::unique_ptr<std::atomic<ReclaimNode*>>> srcs;
+    std::vector<ScopedHandle<TypeParam>> readers;
     for (unsigned t = 0; t < 3; ++t) {
       auto* v = writer.template alloc<TestNode>(std::uint64_t{t});
       victims.push_back(v);
       srcs.push_back(std::make_unique<std::atomic<ReclaimNode*>>(v));
-      auto& h = smr.handle(t);
-      h.begin_op();
-      (void)h.protect(*srcs.back(), 0);
+      readers.push_back(scoped_handle(smr));
+      readers.back()->begin_op();
+      (void)readers.back()->protect(*srcs.back(), 0);
     }
     for (auto* v : victims) writer.retire(v);
     test::churn_retire(writer, test::scaled_iters(20000));
@@ -91,7 +95,7 @@ TYPED_TEST(SmrRobustnessTest, ManyStalledReadersStillBounded) {
     for (auto* v : victims) {
       EXPECT_EQ(v->debug_state, kNodeRetired) << "victims remain protected";
     }
-    for (unsigned t = 0; t < 3; ++t) smr.handle(t).end_op();
+    for (auto& r : readers) r->end_op();
   }
 }
 
