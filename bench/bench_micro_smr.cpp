@@ -27,6 +27,7 @@
 //                        mode.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstring>
@@ -259,9 +260,14 @@ void sweep_activation(bench::BenchReport& report, bench::SchemeId id) {
 // retire/scan/join/leave paths, never on protect()/begin_op(), so the asym
 // fast path with track_stats on must cost the same as with it off.  A >2%
 // delta is almost certainly a regression that put a counter on the fast
-// path; print a loud warning but do not fail (micro timings jitter).
+// path.  The measured delta is the binary's noise floor and is recorded in
+// the report meta (noise_floor_pct) so downstream diffs can calibrate; the
+// loud warning is only printed on hosts with real parallelism — on a
+// 1-hardware-thread container the sweep measures scheduler jitter, not
+// counter cost, and the warning would cry wolf on every CI run.  Returns
+// the worst (most positive) delta seen across the two sweeps.
 template <class Smr>
-void sweep_stats_overhead(bench::SchemeId id) {
+double sweep_stats_overhead(bench::SchemeId id, bool warn) {
   const auto pct = [](const LatencySample& on, const LatencySample& off) {
     return off.ns_per_op > 0
                ? (on.ns_per_op - off.ns_per_op) / off.ns_per_op * 100.0
@@ -273,9 +279,10 @@ void sweep_stats_overhead(bench::SchemeId id) {
                              measure_activation<Smr>(true, false));
   std::printf("  %-6s protect %+6.2f%%  begin_op %+6.2f%%%s\n",
               bench::scheme_name(id), protect_pct, act_pct,
-              protect_pct > 2.0 || act_pct > 2.0
+              warn && (protect_pct > 2.0 || act_pct > 2.0)
                   ? "   ** WARNING: stats overhead >2% on asym fast path **"
                   : "");
+  return std::max(protect_pct, act_pct);
 }
 
 int run_latency_sweep(const std::string& json_path) {
@@ -303,13 +310,28 @@ int run_latency_sweep(const std::string& json_path) {
   std::printf(
       "== stats overhead (asym path, track_stats on vs off; guard <2%%) "
       "==\n");
-  sweep_stats_overhead<NoReclaimDomain>(bench::SchemeId::kNR);
-  sweep_stats_overhead<EbrDomain>(bench::SchemeId::kEBR);
-  sweep_stats_overhead<HpDomain>(bench::SchemeId::kHP);
-  sweep_stats_overhead<HpOptDomain>(bench::SchemeId::kHPopt);
-  sweep_stats_overhead<HeDomain>(bench::SchemeId::kHE);
-  sweep_stats_overhead<IbrDomain>(bench::SchemeId::kIBR);
-  sweep_stats_overhead<HyalineDomain>(bench::SchemeId::kHLN);
+  const bool warn = report.meta().hardware_threads > 1;
+  double floor = 0.0;
+  floor = std::max(floor, sweep_stats_overhead<NoReclaimDomain>(
+                              bench::SchemeId::kNR, warn));
+  floor = std::max(floor,
+                   sweep_stats_overhead<EbrDomain>(bench::SchemeId::kEBR, warn));
+  floor = std::max(floor,
+                   sweep_stats_overhead<HpDomain>(bench::SchemeId::kHP, warn));
+  floor = std::max(floor, sweep_stats_overhead<HpOptDomain>(
+                              bench::SchemeId::kHPopt, warn));
+  floor = std::max(floor,
+                   sweep_stats_overhead<HeDomain>(bench::SchemeId::kHE, warn));
+  floor = std::max(floor,
+                   sweep_stats_overhead<IbrDomain>(bench::SchemeId::kIBR, warn));
+  floor = std::max(floor, sweep_stats_overhead<HyalineDomain>(
+                              bench::SchemeId::kHLN, warn));
+  report.meta().noise_floor_pct = floor;
+  if (!warn)
+    std::printf(
+        "  (1 hardware thread: deltas above are scheduler jitter; warning "
+        "suppressed, noise floor %.2f%% recorded in report meta)\n",
+        floor);
   std::string error;
   if (!report.write_file(json_path, &error)) {
     std::fprintf(stderr, "failed to write %s: %s\n", json_path.c_str(),

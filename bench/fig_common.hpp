@@ -65,6 +65,9 @@ inline void apply_session_flags(CaseConfig& cfg) {
   cfg.pin_threads = f.pin;
   cfg.op_budget = f.op_budget;
   cfg.asymmetric_fences = f.asym;
+  cfg.background_reclaim = f.bg;
+  cfg.reclaim_interval_us = f.reclaim_interval_us;
+  cfg.memory_target = f.memory_target;
   if (f.preset) {
     cfg.read_pct = f.preset->read_pct;
     cfg.insert_pct = f.preset->insert_pct;
@@ -131,6 +134,7 @@ inline void run_grid(const GridSpec& spec, int def_ms) {
     std::printf(" dist=zipfian(%.2f)", proto.zipf_theta);
   if (proto.pin_threads) std::printf(" pinned");
   if (!proto.asymmetric_fences) std::printf(" no-asym");
+  if (proto.background_reclaim) std::printf(" bg-reclaim");
   std::printf("\n");
 
   std::vector<std::string> header{"threads"};

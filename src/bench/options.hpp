@@ -19,6 +19,7 @@
 
 #include "core/registry.hpp"
 #include "smr/registry.hpp"
+#include "smr/smr_config.hpp"
 
 namespace scot::bench {
 
@@ -94,6 +95,13 @@ struct CaseConfig {
                                        // histogram (obs/histogram.hpp) and
                                        // report p50/p99/p999.  0 disables
                                        // sampling (percentiles report as 0).
+  // Background reclamation (DESIGN.md §9): hand retire batches to a
+  // per-domain service thread instead of scanning inline.  Defaults to the
+  // SCOT_BG environment opt-in so existing invocations are unchanged;
+  // --bg/--no-bg override per run.
+  bool background_reclaim = smr_config_detail::bg_reclaim_default();
+  unsigned reclaim_interval_us = 100;   // --reclaim-interval-us <n>
+  std::uint64_t memory_target = 0;      // --memory-target <nodes>; 0 = off
 };
 
 struct CaseResult {
@@ -180,13 +188,18 @@ struct BenchFlags {
   bool pin = false;                    // --pin: worker-thread CPU affinity
   std::uint64_t op_budget = 0;         // --ops <per-thread count>; 0 = timed
   bool asym = true;                    // --no-asym: classic seq_cst protect
+  bool bg = smr_config_detail::bg_reclaim_default();
+                                       // --bg/--no-bg: background reclaimer
+  unsigned reclaim_interval_us = 100;  // --reclaim-interval-us <n>
+  std::uint64_t memory_target = 0;     // --memory-target <nodes>; 0 = off
   bool help = false;                   // --help seen; caller prints usage
 };
 
 inline constexpr const char* kFlagUsage =
     "[--seed <n>] [--json <path>] [--dist uniform|zipfian] [--theta <0..1>] "
     "[--preset mixed|read-mostly|write-heavy] [--pin] [--ops <n>] "
-    "[--no-asym|--asym] [--help]";
+    "[--no-asym|--asym] [--bg|--no-bg] [--reclaim-interval-us <n>] "
+    "[--memory-target <nodes>] [--help]";
 
 // Removes the recognised --flags (and their values) from `args`, leaving
 // positional arguments in place.  Returns false with a one-line `error` on
@@ -220,6 +233,23 @@ inline bool extract_bench_flags(std::vector<std::string>& args,
       out.asym = false;
     } else if (a == "--asym") {  // explicit opt-in, for A/B scripting
       out.asym = true;
+    } else if (a == "--bg") {
+      out.bg = true;
+    } else if (a == "--no-bg") {  // explicit opt-out, for A/B scripting
+      out.bg = false;
+    } else if (a == "--reclaim-interval-us") {
+      const std::string* v = next_value();
+      long long n = 0;
+      if (!v || !parse_decimal(*v, n) || n <= 0 ||
+          n > std::numeric_limits<unsigned>::max())
+        return fail("--reclaim-interval-us needs a positive interval");
+      out.reclaim_interval_us = static_cast<unsigned>(n);
+    } else if (a == "--memory-target") {
+      const std::string* v = next_value();
+      long long n = 0;
+      if (!v || !parse_decimal(*v, n) || n <= 0)
+        return fail("--memory-target needs a positive node count");
+      out.memory_target = static_cast<std::uint64_t>(n);
     } else if (a == "--seed") {
       const std::string* v = next_value();
       long long n = 0;
@@ -339,6 +369,9 @@ inline std::optional<CaseConfig> parse_cli(int argc, const char* const* argv,
   cfg.pin_threads = flags.pin;
   cfg.op_budget = flags.op_budget;
   cfg.asymmetric_fences = flags.asym;
+  cfg.background_reclaim = flags.bg;
+  cfg.reclaim_interval_us = flags.reclaim_interval_us;
+  cfg.memory_target = flags.memory_target;
   if (flags.preset) {
     cfg.read_pct = flags.preset->read_pct;
     cfg.insert_pct = flags.preset->insert_pct;

@@ -14,10 +14,13 @@ namespace scot::bench {
 
 inline constexpr const char* kReportSchemaName = "scot-bench";
 // v2 adds per-cell latency percentiles (p50_ns/p99_ns/p999_ns) and
-// meta.stats_enabled.  Strictly additive: the parser still loads v1 files
-// (the new fields default to 0/false), and cell_key() ignores measurements,
-// so v1 baselines diff cleanly against v2 runs.
-inline constexpr int kReportSchemaVersion = 2;
+// meta.stats_enabled.  v3 adds meta.noise_floor_pct and the background-
+// reclaimer cell fields (bg/reclaim_interval_us/memory_target; cell_key
+// grows a "|bg" suffix only when the reclaimer is on).  Strictly additive:
+// the parser still loads v1/v2 files (the new fields default to 0/false/off),
+// and cell_key() ignores measurements, so old baselines diff cleanly
+// against new runs.
+inline constexpr int kReportSchemaVersion = 3;
 
 struct ReportMeta {
   std::string schema = kReportSchemaName;
@@ -35,6 +38,10 @@ struct ReportMeta {
   // Whether the binary was compiled with the SMR telemetry counters
   // (SCOT_STATS; DESIGN.md §8).  v2; loads as false from v1 files.
   bool stats_enabled = false;
+  // Measured stats-on vs stats-off throughput delta of this host/binary
+  // (bench_micro_smr sweep).  0 when the binary never measured it; loads
+  // as 0 from files that predate the field.
+  double noise_floor_pct = 0.0;
 };
 
 // Metadata of the running binary: build-time macros + runtime clock.
@@ -62,6 +69,9 @@ class BenchReport {
            const CaseResult& result);
 
   const ReportMeta& meta() const { return meta_; }
+  // Mutable access for binaries that measure meta fields at run time
+  // (bench_micro_smr records the stats noise floor it just swept).
+  ReportMeta& meta() { return meta_; }
   const std::vector<ReportCell>& cells() const { return cells_; }
 
   std::string to_json() const;

@@ -108,8 +108,25 @@ class TypedAnyMap final : public detail::AnyMapImpl {
     auto& slot = handles_.at(tid);
     Handle* h = slot.load(std::memory_order_acquire);
     if (h == nullptr) {
+#ifndef SCOT_DISALLOW_TID_SHIM
       h = &smr_.handle(tid);  // shim: joins + pins once, mutex on this path
       slot.store(h, std::memory_order_release);
+#else
+      // Shim compiled out: join directly.  Same pin-forever semantics (the
+      // slot caches the handle for the map's lifetime), without routing
+      // through the deprecated tid-indexed surface.  The CAS covers the
+      // (contract-violating, but cheap to tolerate) case of two threads
+      // racing the same tid: the loser releases its fresh handle and uses
+      // the winner's.
+      h = &smr_.join();
+      Handle* expected = nullptr;
+      if (!slot.compare_exchange_strong(expected, h,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        smr_.leave(*h);
+        h = expected;
+      }
+#endif
     }
     return *h;
   }

@@ -51,6 +51,9 @@ enum class Counter : unsigned {
   kEraAdvances,       // global era/epoch clock ticks by this handle
   kOrphanDonations,   // leave() handoffs into the orphan mailbox
   kOrphanAdoptions,   // retire()-side adoptions out of the mailbox
+  kBgRounds,          // background-reclaimer rounds (service thread only)
+  kBgBatchesAdopted,  // donated limbo/batch chains the reclaimer consumed
+  kBgAdaptations,     // adaptive threshold changes (DESIGN.md §9)
   kCount_
 };
 inline constexpr unsigned kCounterCount =
@@ -67,6 +70,9 @@ inline constexpr const char* counter_name(Counter c) noexcept {
     case Counter::kEraAdvances: return "era_advances";
     case Counter::kOrphanDonations: return "orphan_donations";
     case Counter::kOrphanAdoptions: return "orphan_adoptions";
+    case Counter::kBgRounds: return "bg_rounds";
+    case Counter::kBgBatchesAdopted: return "bg_batches_adopted";
+    case Counter::kBgAdaptations: return "bg_adaptations";
     case Counter::kCount_: break;
   }
   return "?";
@@ -97,6 +103,9 @@ struct StatsSnapshot {
   std::uint64_t era_advances = 0;
   std::uint64_t orphan_donations = 0;
   std::uint64_t orphan_adoptions = 0;
+  std::uint64_t bg_rounds = 0;
+  std::uint64_t bg_batches_adopted = 0;
+  std::uint64_t bg_adaptations = 0;
   std::uint64_t limbo_peak = 0;     // max across cells
   std::int64_t pending = 0;         // domain-wide gauge (SmrCounters)
   std::uint64_t retired_total = 0;  // SmrCounters::retired
@@ -117,6 +126,9 @@ struct StatsSnapshot {
       case Counter::kEraAdvances: return era_advances;
       case Counter::kOrphanDonations: return orphan_donations;
       case Counter::kOrphanAdoptions: return orphan_adoptions;
+      case Counter::kBgRounds: return bg_rounds;
+      case Counter::kBgBatchesAdopted: return bg_batches_adopted;
+      case Counter::kBgAdaptations: return bg_adaptations;
       case Counter::kCount_: break;
     }
     return 0;
@@ -196,6 +208,9 @@ class DomainStats {
       s.era_advances += load(c, Counter::kEraAdvances);
       s.orphan_donations += load(c, Counter::kOrphanDonations);
       s.orphan_adoptions += load(c, Counter::kOrphanAdoptions);
+      s.bg_rounds += load(c, Counter::kBgRounds);
+      s.bg_batches_adopted += load(c, Counter::kBgBatchesAdopted);
+      s.bg_adaptations += load(c, Counter::kBgAdaptations);
       const std::uint64_t peak =
           c->limbo_peak.load(std::memory_order_relaxed);
       if (peak > s.limbo_peak) s.limbo_peak = peak;

@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "common/align.hpp"
 #include "common/asymfence.hpp"
@@ -28,6 +29,7 @@
 #include "smr/handle_core.hpp"
 #include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
+#include "smr/reclaimer.hpp"
 #include "smr/smr_config.hpp"
 
 namespace scot {
@@ -81,20 +83,33 @@ class EbrDomain {
       n->debug_state = kNodeRetired;
       n->retire_era = dom_->clock_.load(std::memory_order_acquire);
       limbo_.push(n);
-      if (!dom_->orphans_.empty() &&
-          adopt_orphans(dom_->orphans_, limbo_) > 0) {
+      // With the background reclaimer active, mailbox adoption is its job;
+      // when inactive, retirers self-heal both mailboxes (leave() orphans
+      // and anything stranded in the background mailbox by a stop).
+      if (!dom_->bg_.is_active() && adopt_all_mailboxes() > 0) {
         obs::count(stats_, obs::Counter::kOrphanAdoptions);
         obs::trace_instant(obs::TraceKind::kAdopt);
       }
       dom_->counters_.on_retire(dom_->cfg_.track_stats);
       obs::count(stats_, obs::Counter::kRetires);
       obs::peak(stats_, limbo_.count);
-      if (++tick_ >= dom_->cfg_.era_freq) {
+      if (++tick_ >= dom_->bg_.effective_era_freq()) {
         tick_ = 0;
         dom_->clock_.fetch_add(1, std::memory_order_acq_rel);
         obs::count(stats_, obs::Counter::kEraAdvances);
       }
-      if (limbo_.count >= dom_->cfg_.scan_threshold) scan();
+      if (limbo_.count >= dom_->bg_.effective_scan_threshold()) {
+        if (dom_->bg_.is_active()) {
+          // Donate the whole chain (one CAS) and ring the doorbell: no
+          // scan, no reservation snapshot, and on the asymmetric path no
+          // heavy barrier on this (or any) mutator — the service thread
+          // issues one barrier for the entire adopted backlog.
+          donate_limbo(limbo_, dom_->bg_.mailbox);
+          dom_->bg_.thread.ring();
+        } else {
+          scan();
+        }
+      }
     }
 
     std::uint64_t on_alloc_era() noexcept { return 0; }
@@ -131,8 +146,30 @@ class EbrDomain {
     // Test hook: number of nodes parked in this thread's limbo list.
     unsigned limbo_size() const noexcept { return limbo_.count; }
 
+    // --- background-reclaimer hooks (service thread only; DESIGN.md §9) ---
+    // Adopt every donated chain into this handle's limbo list.
+    unsigned bg_collect() { return adopt_all_mailboxes(); }
+    // Run the shared scan (one heavy barrier) if there is a backlog.
+    bool bg_reclaim() {
+      if (limbo_.count == 0) return false;
+      scan();
+      return true;
+    }
+
    private:
     friend class EbrDomain;
+
+    // Drains both shared mailboxes into the private limbo list; returns the
+    // number of nodes adopted.
+    unsigned adopt_all_mailboxes() {
+      unsigned adopted = 0;
+      if (!dom_->orphans_.empty())
+        adopted += adopt_orphans(dom_->orphans_, limbo_);
+      if (!dom_->bg_.mailbox.empty())
+        adopted += adopt_orphans(dom_->bg_.mailbox, limbo_);
+      return adopted;
+    }
+
     // Published epoch reservation, read by every scan.  Lives inside the
     // handle (each registry record is kFalseSharingRange-aligned), so the
     // reservation array grows with the registry instead of being sized by
@@ -145,10 +182,21 @@ class EbrDomain {
   explicit EbrDomain(SmrConfig cfg = {})
       : cfg_(cfg),
         pool_(cfg.max_threads),
-        fence_path_(asymfence::resolve(cfg.asymmetric_fences)),
-        shim_(cfg.max_threads) {}
+        fence_path_(asymfence::resolve(cfg.asymmetric_fences))
+#ifndef SCOT_DISALLOW_TID_SHIM
+        ,
+        shim_(cfg.max_threads)
+#endif
+  {
+    bg_.scan_threshold.store(cfg_.scan_threshold, std::memory_order_relaxed);
+    bg_.era_freq.store(cfg_.era_freq, std::memory_order_relaxed);
+    if (cfg_.background_reclaim) start_background_reclaimer();
+  }
 
-  ~EbrDomain() { drain_all(); }
+  ~EbrDomain() {
+    stop_background_reclaimer();
+    drain_all();
+  }
 
   // --- dynamic membership (see nr.hpp for the reference walkthrough) ------
   Handle& join() {
@@ -168,9 +216,16 @@ class EbrDomain {
     assert(h.reservation_.load(std::memory_order_relaxed) == kIdle &&
            "leave() with an operation in flight");
     if (h.limbo_.count > 0) {
-      h.scan();
-      if (donate_limbo(h.limbo_, orphans_) > 0)
+      if (bg_.is_active()) {
+        // Hand the whole backlog to the service thread; no exit scan.
+        donate_limbo(h.limbo_, bg_.mailbox);
+        bg_.thread.ring();
         obs::count(h.stats_, obs::Counter::kOrphanDonations);
+      } else {
+        h.scan();
+        if (donate_limbo(h.limbo_, orphans_) > 0)
+          obs::count(h.stats_, obs::Counter::kOrphanDonations);
+      }
     }
     obs::count(h.stats_, obs::Counter::kLeaves);
     obs::trace_instant(obs::TraceKind::kLeave);
@@ -183,9 +238,44 @@ class EbrDomain {
   }
   const HandleRegistry<Handle>& registry() const noexcept { return registry_; }
 
+#ifndef SCOT_DISALLOW_TID_SHIM
   // DEPRECATED: fixed-capacity tid-indexed access (joins once per tid and
   // pins the record forever).  New code should use scoped_handle(domain).
   Handle& handle(unsigned tid) { return shim_.get(*this, tid); }
+#endif
+
+  // --- background reclamation (smr/reclaimer.hpp, DESIGN.md §9) -----------
+  ReclaimControl& reclaim_control() noexcept { return bg_; }
+  bool background_active() const noexcept { return bg_.is_active(); }
+  BgReclaimStats background_stats() const noexcept { return bg_stats_of(bg_); }
+  bool counts_heavy_barrier_per_reclaim() const noexcept {
+    return fence_path_ != asymfence::Path::kClassic;
+  }
+
+  // Launches the service thread (no-op when already running).  Not
+  // thread-safe against a concurrent start/stop — one controller thread,
+  // the same contract as domain construction; safe against concurrent
+  // mutator operations.
+  void start_background_reclaimer() {
+    if (bg_.thread.running()) return;
+    if (!reclaimer_)
+      reclaimer_ = std::make_unique<DomainReclaimer<EbrDomain>>(*this);
+    bg_.active.store(true, std::memory_order_release);
+    bg_.thread.start(cfg_.reclaim_interval_us,
+                     [this] { reclaimer_->round(); });
+  }
+
+  // Stops and joins the service thread, runs a final synchronous drain and
+  // releases the reclaimer's handle.  Mutators revert to inline scanning
+  // and re-adopt anything still parked in the background mailbox.
+  void stop_background_reclaimer() {
+    bg_.active.store(false, std::memory_order_release);
+    bg_.thread.stop();
+    if (reclaimer_) {
+      reclaimer_->detach();
+      reclaimer_.reset();
+    }
+  }
 
   const SmrConfig& config() const noexcept { return cfg_; }
   NodePool& pool() noexcept { return pool_; }
@@ -247,12 +337,14 @@ class EbrDomain {
         n = next;
       }
     }
-    ReclaimNode* n = orphans_.take_all();
-    while (n != nullptr) {
-      ReclaimNode* next = n->smr_next;
-      pool_.free(0, n, n->alloc_size);
-      ++freed;
-      n = next;
+    ReclaimNode* chains[] = {orphans_.take_all(), bg_.mailbox.take_all()};
+    for (ReclaimNode* n : chains) {
+      while (n != nullptr) {
+        ReclaimNode* next = n->smr_next;
+        pool_.free(0, n, n->alloc_size);
+        ++freed;
+        n = next;
+      }
     }
     counters_.on_free(freed, cfg_.track_stats);
   }
@@ -267,7 +359,14 @@ class EbrDomain {
   obs::DomainStats stats_obs_;
   HandleRegistry<Handle> registry_;
   OrphanList orphans_;
+  ReclaimControl bg_;
+  std::unique_ptr<DomainReclaimer<EbrDomain>> reclaimer_;
+#ifndef SCOT_DISALLOW_TID_SHIM
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   TidHandleShim<Handle> shim_;
+#pragma GCC diagnostic pop
+#endif
 };
 
 }  // namespace scot

@@ -19,13 +19,19 @@
 
 namespace scot {
 
-// Intrusive singly-linked list of retired nodes awaiting reclamation.
+// Intrusive singly-linked list of retired nodes awaiting reclamation.  The
+// tail pointer (the oldest node — push prepends) makes whole-chain donation
+// to a RetireMailbox O(1), which the background-reclaim hot path relies on:
+// with the reclaimer active every threshold-ful of retires donates the full
+// chain instead of scanning (smr/reclaimer.hpp, DESIGN.md §9).
 struct LimboList {
   ReclaimNode* head = nullptr;
+  ReclaimNode* tail = nullptr;
   unsigned count = 0;
 
   void push(ReclaimNode* n) noexcept {
     n->smr_next = head;
+    if (head == nullptr) tail = n;
     head = n;
     ++count;
   }
@@ -33,22 +39,22 @@ struct LimboList {
   ReclaimNode* take() noexcept {
     ReclaimNode* h = head;
     head = nullptr;
+    tail = nullptr;
     count = 0;
     return h;
   }
 };
 
-// Donates a limbo list's whole chain to the domain's orphan mailbox (called
-// by leave() for whatever a final scan could not reclaim) and resets the
-// list.  The walk to find the tail is O(n), but leave() is rare and the
-// list is bounded by the scan threshold plus still-protected stragglers.
-// Returns the number of nodes donated (0 = no donation happened).
-inline unsigned donate_limbo(LimboList& limbo, OrphanList& orphans) noexcept {
+// Donates a limbo list's whole chain to a retire mailbox — the domain's
+// orphan mailbox on leave(), or the background reclaimer's mailbox on the
+// donate-instead-of-scan hot path — and resets the list.  O(1): one CAS
+// push of the [head .. tail] chain.  Returns the number of nodes donated
+// (0 = no donation happened).
+inline unsigned donate_limbo(LimboList& limbo,
+                             RetireMailbox& mailbox) noexcept {
   const unsigned donated = limbo.count;
   if (donated == 0) return 0;
-  ReclaimNode* last = limbo.head;
-  while (last->smr_next != nullptr) last = last->smr_next;
-  orphans.donate(limbo.head, last);
+  mailbox.donate(limbo.head, limbo.tail);
   limbo.take();
   return donated;
 }

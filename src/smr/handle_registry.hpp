@@ -67,12 +67,14 @@ inline std::uint64_t next_registry_id() noexcept {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+#ifndef SCOT_DISALLOW_TID_SHIM
 // Process-wide (not per shim instantiation), so the deprecation note below
 // prints at most once no matter how many schemes touch their shims.
 inline std::atomic<bool>& shim_warned() noexcept {
   static std::atomic<bool> warned{false};
   return warned;
 }
+#endif
 }  // namespace detail
 
 template <class Handle>
@@ -270,8 +272,17 @@ template <class Domain>
 // the domain's lifetime.  This resurrects the fixed-capacity surface —
 // `tid` must be < max_threads — and takes a mutex on first touch; new code
 // should use scoped_handle() instead.
+//
+// The [[deprecated]] marking is at the type level so any *new* direct use
+// fails loudly under -Werror; the domains suppress the warning around their
+// own shim members (the compatibility surface itself).  Configuring with
+// -DSCOT_DISALLOW_TID_SHIM=ON compiles the shim (and every domain's
+// handle(tid) accessor) out entirely.
+#ifndef SCOT_DISALLOW_TID_SHIM
 template <class Handle>
-class TidHandleShim {
+class [[deprecated(
+    "tid-indexed handles pin registry records forever; use "
+    "scot::scoped_handle(domain) or AnyMap::session()")]] TidHandleShim {
  public:
   explicit TidHandleShim(unsigned max_threads) {
     slots_.reserve(max_threads);  // deprecated fixed-capacity surface
@@ -305,17 +316,28 @@ class TidHandleShim {
   std::mutex mu_;
   std::vector<Handle*> slots_;
 };
+#endif  // SCOT_DISALLOW_TID_SHIM
 
-// Mailbox for the unreclaimed retires of departed threads: leave() donates
-// the whole leftover chain (linked through smr_next) with one CAS push; the
-// next retire() on any live handle adopts the lot.  Nodes parked here are
-// still accounted in the domain's pending gauge — donation moves custody,
-// not statistics.
-class OrphanList {
+// MPSC mailbox of retired-node chains, the handoff primitive for both
+// custody transfers in the library:
+//
+//  * orphan custody — leave() donates the departing thread's leftover chain;
+//    the next retire() on any live handle adopts the lot;
+//  * background reclamation (smr/reclaimer.hpp, DESIGN.md §9) — mutators
+//    donate their full limbo/batch chains so the domain's service thread
+//    reclaims them off the operation path.
+//
+// donate() is one CAS push of a whole chain (linked through smr_next);
+// take_all() transfers everything to exactly one consumer.  The release/
+// acquire pair carries the node contents: a consumer that observes a chain
+// observes every write the donor made to its nodes before donating.  Nodes
+// parked here are still accounted in the domain's pending gauge — donation
+// moves custody, not statistics.
+class RetireMailbox {
  public:
-  OrphanList() = default;
-  OrphanList(const OrphanList&) = delete;
-  OrphanList& operator=(const OrphanList&) = delete;
+  RetireMailbox() = default;
+  RetireMailbox(const RetireMailbox&) = delete;
+  RetireMailbox& operator=(const RetireMailbox&) = delete;
 
   bool empty() const noexcept {
     return head_.load(std::memory_order_relaxed) == nullptr;
@@ -330,6 +352,7 @@ class OrphanList {
       last->smr_next = h;
     } while (!head_.compare_exchange_weak(h, first, std::memory_order_release,
                                           std::memory_order_relaxed));
+    donations_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Adopts everything donated so far; returns the chain head (nullptr if
@@ -338,8 +361,19 @@ class OrphanList {
     return head_.exchange(nullptr, std::memory_order_acquire);
   }
 
+  // Cumulative donate() count (telemetry: the reclaimer's batches-adopted
+  // stat; approximate while donors run).
+  std::uint64_t donations() const noexcept {
+    return donations_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::atomic<ReclaimNode*> head_{nullptr};
+  std::atomic<std::uint64_t> donations_{0};
 };
+
+// Historical name: the orphan mailbox was the first RetireMailbox use; the
+// background reclaimer generalized it.
+using OrphanList = RetireMailbox;
 
 }  // namespace scot

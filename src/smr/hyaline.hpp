@@ -36,6 +36,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 
 #include "common/align.hpp"
 #include "common/asymfence.hpp"
@@ -44,6 +45,7 @@
 #include "smr/handle_core.hpp"
 #include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
+#include "smr/reclaimer.hpp"
 #include "smr/smr_config.hpp"
 
 namespace scot {
@@ -132,7 +134,7 @@ class HyalineDomain {
       n->retire_era = dom_->clock_.load(std::memory_order_acquire);
       n->batch = nullptr;
       push_to_batch(n);
-      if (!dom_->orphans_.empty() && adopt_orphans() > 0) {
+      if (!dom_->bg_.is_active() && adopt_all_mailboxes() > 0) {
         obs::count(stats_, obs::Counter::kOrphanAdoptions);
         obs::trace_instant(obs::TraceKind::kAdopt);
       }
@@ -140,7 +142,21 @@ class HyalineDomain {
       obs::count(stats_, obs::Counter::kRetires);
       obs::peak(stats_, batch_count_);
       era_tick();
-      if (batch_count_ >= required_batch()) seal_batch();
+      if (batch_count_ >= required_batch()) {
+        if (dom_->bg_.is_active()) {
+          // Donate the accumulated batch whole; the service thread splices
+          // it into its own batch and runs the seal (with its single heavy
+          // barrier) off the operation path.
+          dom_->bg_.mailbox.donate(batch_head_, batch_tail_);
+          batch_head_ = nullptr;
+          batch_tail_ = nullptr;
+          batch_count_ = 0;
+          batch_min_birth_ = 0;
+          dom_->bg_.thread.ring();
+        } else {
+          seal_batch();
+        }
+      }
     }
 
     std::uint64_t on_alloc_era() noexcept {
@@ -152,11 +168,22 @@ class HyalineDomain {
     unsigned pending_batch_size() const noexcept { return batch_count_; }
     std::uint64_t reservation_era() const noexcept { return era_local_; }
 
+    // --- background-reclaimer hooks (service thread only; DESIGN.md §9) ---
+    unsigned bg_collect() { return adopt_all_mailboxes(); }
+    // Seals only when the spliced batch has enough member nodes for every
+    // registry record; a short batch keeps accumulating until the next
+    // round's adoptions top it up.
+    bool bg_reclaim() {
+      if (batch_count_ == 0 || batch_count_ < required_batch()) return false;
+      seal_batch();
+      return true;
+    }
+
    private:
     friend class HyalineDomain;
 
     void era_tick() noexcept {
-      if (++tick_ >= dom_->cfg_.era_freq) {
+      if (++tick_ >= dom_->bg_.effective_era_freq()) {
         tick_ = 0;
         dom_->clock_.fetch_add(1, std::memory_order_acq_rel);
         obs::count(stats_, obs::Counter::kEraAdvances);
@@ -168,15 +195,25 @@ class HyalineDomain {
       if (batch_count_ == 0 || birth < batch_min_birth_)
         batch_min_birth_ = birth;
       n->smr_next = batch_head_;
+      if (batch_head_ == nullptr) batch_tail_ = n;
       batch_head_ = n;
       ++batch_count_;
     }
 
-    // Splices every orphaned retire (a departed thread's unsealed batch)
-    // into this thread's batch, restoring the min-birth bound.  Returns
-    // the number of nodes adopted (0 = the mailbox was raced empty).
-    unsigned adopt_orphans() noexcept {
-      ReclaimNode* n = dom_->orphans_.take_all();
+    // Splices every donated retire (departed threads' unsealed batches and
+    // anything parked in the background mailbox) into this thread's batch,
+    // restoring the min-birth bound.  Returns the number of nodes adopted
+    // (0 = both mailboxes were raced empty).
+    unsigned adopt_all_mailboxes() noexcept {
+      unsigned adopted = 0;
+      adopted += splice_mailbox(dom_->orphans_);
+      adopted += splice_mailbox(dom_->bg_.mailbox);
+      return adopted;
+    }
+
+    unsigned splice_mailbox(RetireMailbox& mailbox) noexcept {
+      if (mailbox.empty()) return 0;
+      ReclaimNode* n = mailbox.take_all();
       unsigned adopted = 0;
       while (n != nullptr) {
         ReclaimNode* next = n->smr_next;
@@ -191,11 +228,14 @@ class HyalineDomain {
     // insertion consumes a distinct node as the list entry) plus one, so
     // the threshold adapts to membership: total_records() is incremented
     // before a record is published, so this bound can only over-estimate,
-    // never under-estimate, the chain seal_batch() will walk.
+    // never under-estimate, the chain seal_batch() will walk.  The floor is
+    // the effective background threshold (initialized to batch_capacity_
+    // and retuned by the adaptive controller; the registry term keeps it
+    // correct regardless of how far the controller lowers it).
     unsigned required_batch() const noexcept {
       const auto total =
           static_cast<unsigned>(dom_->registry_.total_records());
-      return std::max(dom_->batch_capacity_, total + 1);
+      return std::max(dom_->bg_.effective_scan_threshold(), total + 1);
     }
 
     // Hands the accumulated batch to all active, era-overlapping slots.
@@ -261,6 +301,7 @@ class HyalineDomain {
         }
       }
       batch_head_ = nullptr;
+      batch_tail_ = nullptr;
       batch_count_ = 0;
       batch_min_birth_ = 0;
       obs::scan_end(stats_, stats_t0, 0);
@@ -311,6 +352,7 @@ class HyalineDomain {
     bool restart_ = false;
     unsigned tick_ = 0;
     ReclaimNode* batch_head_ = nullptr;
+    ReclaimNode* batch_tail_ = nullptr;
     unsigned batch_count_ = 0;
     std::uint64_t batch_min_birth_ = 0;
   };
@@ -320,10 +362,23 @@ class HyalineDomain {
         pool_(cfg.max_threads),
         batch_capacity_(cfg.batch_capacity != 0 ? cfg.batch_capacity
                                                 : cfg.max_threads + 1),
-        fence_path_(asymfence::resolve(cfg.asymmetric_fences)),
-        shim_(cfg.max_threads) {}
+        fence_path_(asymfence::resolve(cfg.asymmetric_fences))
+#ifndef SCOT_DISALLOW_TID_SHIM
+        ,
+        shim_(cfg.max_threads)
+#endif
+  {
+    // Hyaline's reclaim cadence is the batch size, so that is what the
+    // adaptive controller tunes (era_freq rides along for the clock rate).
+    bg_.scan_threshold.store(batch_capacity_, std::memory_order_relaxed);
+    bg_.era_freq.store(cfg_.era_freq, std::memory_order_relaxed);
+    if (cfg_.background_reclaim) start_background_reclaimer();
+  }
 
-  ~HyalineDomain() { drain_all(); }
+  ~HyalineDomain() {
+    stop_background_reclaimer();
+    drain_all();
+  }
 
   // --- dynamic membership (see nr.hpp for the reference walkthrough) ------
   Handle& join() {
@@ -344,10 +399,14 @@ class HyalineDomain {
     assert(h.slot_.head.load(std::memory_order_relaxed) == kInactive &&
            "leave() with an operation in flight");
     if (h.batch_count_ > 0) {
-      ReclaimNode* last = h.batch_head_;
-      while (last->smr_next != nullptr) last = last->smr_next;
-      orphans_.donate(h.batch_head_, last);
+      if (bg_.is_active()) {
+        bg_.mailbox.donate(h.batch_head_, h.batch_tail_);
+        bg_.thread.ring();
+      } else {
+        orphans_.donate(h.batch_head_, h.batch_tail_);
+      }
       h.batch_head_ = nullptr;
+      h.batch_tail_ = nullptr;
       h.batch_count_ = 0;
       h.batch_min_birth_ = 0;
       obs::count(h.stats_, obs::Counter::kOrphanDonations);
@@ -363,9 +422,37 @@ class HyalineDomain {
   }
   const HandleRegistry<Handle>& registry() const noexcept { return registry_; }
 
+#ifndef SCOT_DISALLOW_TID_SHIM
   // DEPRECATED: fixed-capacity tid-indexed access (joins once per tid and
   // pins the record forever).  New code should use scoped_handle(domain).
   Handle& handle(unsigned tid) { return shim_.get(*this, tid); }
+#endif
+
+  // --- background reclamation (smr/reclaimer.hpp, DESIGN.md §9) -----------
+  ReclaimControl& reclaim_control() noexcept { return bg_; }
+  bool background_active() const noexcept { return bg_.is_active(); }
+  BgReclaimStats background_stats() const noexcept { return bg_stats_of(bg_); }
+  bool counts_heavy_barrier_per_reclaim() const noexcept {
+    return fence_path_ != asymfence::Path::kClassic;
+  }
+
+  void start_background_reclaimer() {
+    if (bg_.thread.running()) return;
+    if (!reclaimer_)
+      reclaimer_ = std::make_unique<DomainReclaimer<HyalineDomain>>(*this);
+    bg_.active.store(true, std::memory_order_release);
+    bg_.thread.start(cfg_.reclaim_interval_us,
+                     [this] { reclaimer_->round(); });
+  }
+
+  void stop_background_reclaimer() {
+    bg_.active.store(false, std::memory_order_release);
+    bg_.thread.stop();
+    if (reclaimer_) {
+      reclaimer_->detach();
+      reclaimer_.reset();
+    }
+  }
 
   const SmrConfig& config() const noexcept { return cfg_; }
   NodePool& pool() noexcept { return pool_; }
@@ -418,14 +505,17 @@ class HyalineDomain {
         n = next;
       }
       r->handle.batch_head_ = nullptr;
+      r->handle.batch_tail_ = nullptr;
       r->handle.batch_count_ = 0;
     }
-    ReclaimNode* n = orphans_.take_all();
-    while (n != nullptr) {
-      ReclaimNode* next = n->smr_next;
-      pool_.free(0, n, n->alloc_size);
-      ++freed;
-      n = next;
+    ReclaimNode* chains[] = {orphans_.take_all(), bg_.mailbox.take_all()};
+    for (ReclaimNode* n : chains) {
+      while (n != nullptr) {
+        ReclaimNode* next = n->smr_next;
+        pool_.free(0, n, n->alloc_size);
+        ++freed;
+        n = next;
+      }
     }
     counters_.on_free(freed, cfg_.track_stats);
   }
@@ -441,7 +531,14 @@ class HyalineDomain {
   obs::DomainStats stats_obs_;
   HandleRegistry<Handle> registry_;
   OrphanList orphans_;
+  ReclaimControl bg_;
+  std::unique_ptr<DomainReclaimer<HyalineDomain>> reclaimer_;
+#ifndef SCOT_DISALLOW_TID_SHIM
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   TidHandleShim<Handle> shim_;
+#pragma GCC diagnostic pop
+#endif
 };
 
 }  // namespace scot

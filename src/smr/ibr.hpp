@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <utility>
 
 #include "common/align.hpp"
@@ -36,6 +37,7 @@
 #include "smr/handle_core.hpp"
 #include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
+#include "smr/reclaimer.hpp"
 #include "smr/smr_config.hpp"
 
 namespace scot {
@@ -109,8 +111,7 @@ class IbrDomain {
       n->debug_state = kNodeRetired;
       n->retire_era = dom_->clock_.load(std::memory_order_acquire);
       limbo_.push(n);
-      if (!dom_->orphans_.empty() &&
-          adopt_orphans(dom_->orphans_, limbo_) > 0) {
+      if (!dom_->bg_.is_active() && adopt_all_mailboxes() > 0) {
         obs::count(stats_, obs::Counter::kOrphanAdoptions);
         obs::trace_instant(obs::TraceKind::kAdopt);
       }
@@ -118,7 +119,14 @@ class IbrDomain {
       obs::count(stats_, obs::Counter::kRetires);
       obs::peak(stats_, limbo_.count);
       era_tick();
-      if (limbo_.count >= dom_->cfg_.scan_threshold) scan();
+      if (limbo_.count >= dom_->bg_.effective_scan_threshold()) {
+        if (dom_->bg_.is_active()) {
+          donate_limbo(limbo_, dom_->bg_.mailbox);
+          dom_->bg_.thread.ring();
+        } else {
+          scan();
+        }
+      }
     }
 
     std::uint64_t on_alloc_era() noexcept {
@@ -156,8 +164,25 @@ class IbrDomain {
 
     unsigned limbo_size() const noexcept { return limbo_.count; }
 
+    // --- background-reclaimer hooks (service thread only; DESIGN.md §9) ---
+    unsigned bg_collect() { return adopt_all_mailboxes(); }
+    bool bg_reclaim() {
+      if (limbo_.count == 0) return false;
+      scan();
+      return true;
+    }
+
    private:
     friend class IbrDomain;
+
+    unsigned adopt_all_mailboxes() {
+      unsigned adopted = 0;
+      if (!dom_->orphans_.empty())
+        adopted += adopt_orphans(dom_->orphans_, limbo_);
+      if (!dom_->bg_.mailbox.empty())
+        adopted += adopt_orphans(dom_->bg_.mailbox, limbo_);
+      return adopted;
+    }
 
     bool lifetime_reserved(std::uint64_t birth,
                            std::uint64_t retire) noexcept {
@@ -169,7 +194,7 @@ class IbrDomain {
     }
 
     void era_tick() noexcept {
-      if (++tick_ >= dom_->cfg_.era_freq) {
+      if (++tick_ >= dom_->bg_.effective_era_freq()) {
         tick_ = 0;
         dom_->clock_.fetch_add(1, std::memory_order_acq_rel);
         obs::count(stats_, obs::Counter::kEraAdvances);
@@ -190,10 +215,21 @@ class IbrDomain {
   explicit IbrDomain(SmrConfig cfg = {})
       : cfg_(cfg),
         pool_(cfg.max_threads),
-        fence_path_(asymfence::resolve(cfg.asymmetric_fences)),
-        shim_(cfg.max_threads) {}
+        fence_path_(asymfence::resolve(cfg.asymmetric_fences))
+#ifndef SCOT_DISALLOW_TID_SHIM
+        ,
+        shim_(cfg.max_threads)
+#endif
+  {
+    bg_.scan_threshold.store(cfg_.scan_threshold, std::memory_order_relaxed);
+    bg_.era_freq.store(cfg_.era_freq, std::memory_order_relaxed);
+    if (cfg_.background_reclaim) start_background_reclaimer();
+  }
 
-  ~IbrDomain() { drain_all(); }
+  ~IbrDomain() {
+    stop_background_reclaimer();
+    drain_all();
+  }
 
   // --- dynamic membership (see nr.hpp for the reference walkthrough) ------
   Handle& join() {
@@ -212,9 +248,15 @@ class IbrDomain {
     assert(h.res_upper_.load(std::memory_order_relaxed) == kIdle &&
            "leave() with an operation in flight");
     if (h.limbo_.count > 0) {
-      h.scan();
-      if (donate_limbo(h.limbo_, orphans_) > 0)
+      if (bg_.is_active()) {
+        donate_limbo(h.limbo_, bg_.mailbox);
+        bg_.thread.ring();
         obs::count(h.stats_, obs::Counter::kOrphanDonations);
+      } else {
+        h.scan();
+        if (donate_limbo(h.limbo_, orphans_) > 0)
+          obs::count(h.stats_, obs::Counter::kOrphanDonations);
+      }
     }
     obs::count(h.stats_, obs::Counter::kLeaves);
     obs::trace_instant(obs::TraceKind::kLeave);
@@ -227,9 +269,37 @@ class IbrDomain {
   }
   const HandleRegistry<Handle>& registry() const noexcept { return registry_; }
 
+#ifndef SCOT_DISALLOW_TID_SHIM
   // DEPRECATED: fixed-capacity tid-indexed access (joins once per tid and
   // pins the record forever).  New code should use scoped_handle(domain).
   Handle& handle(unsigned tid) { return shim_.get(*this, tid); }
+#endif
+
+  // --- background reclamation (smr/reclaimer.hpp, DESIGN.md §9) -----------
+  ReclaimControl& reclaim_control() noexcept { return bg_; }
+  bool background_active() const noexcept { return bg_.is_active(); }
+  BgReclaimStats background_stats() const noexcept { return bg_stats_of(bg_); }
+  bool counts_heavy_barrier_per_reclaim() const noexcept {
+    return fence_path_ != asymfence::Path::kClassic;
+  }
+
+  void start_background_reclaimer() {
+    if (bg_.thread.running()) return;
+    if (!reclaimer_)
+      reclaimer_ = std::make_unique<DomainReclaimer<IbrDomain>>(*this);
+    bg_.active.store(true, std::memory_order_release);
+    bg_.thread.start(cfg_.reclaim_interval_us,
+                     [this] { reclaimer_->round(); });
+  }
+
+  void stop_background_reclaimer() {
+    bg_.active.store(false, std::memory_order_release);
+    bg_.thread.stop();
+    if (reclaimer_) {
+      reclaimer_->detach();
+      reclaimer_.reset();
+    }
+  }
 
   const SmrConfig& config() const noexcept { return cfg_; }
   NodePool& pool() noexcept { return pool_; }
@@ -293,12 +363,14 @@ class IbrDomain {
         n = next;
       }
     }
-    ReclaimNode* n = orphans_.take_all();
-    while (n != nullptr) {
-      ReclaimNode* next = n->smr_next;
-      pool_.free(0, n, n->alloc_size);
-      ++freed;
-      n = next;
+    ReclaimNode* chains[] = {orphans_.take_all(), bg_.mailbox.take_all()};
+    for (ReclaimNode* n : chains) {
+      while (n != nullptr) {
+        ReclaimNode* next = n->smr_next;
+        pool_.free(0, n, n->alloc_size);
+        ++freed;
+        n = next;
+      }
     }
     counters_.on_free(freed, cfg_.track_stats);
   }
@@ -313,7 +385,14 @@ class IbrDomain {
   obs::DomainStats stats_obs_;
   HandleRegistry<Handle> registry_;
   OrphanList orphans_;
+  ReclaimControl bg_;
+  std::unique_ptr<DomainReclaimer<IbrDomain>> reclaimer_;
+#ifndef SCOT_DISALLOW_TID_SHIM
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   TidHandleShim<Handle> shim_;
+#pragma GCC diagnostic pop
+#endif
 };
 
 }  // namespace scot

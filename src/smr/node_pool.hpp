@@ -14,6 +14,14 @@
 // owns handle `tid`.  Cross-thread frees (Hyaline batches reclaimed by
 // whichever thread drops the last reference) go to the *freeing* thread's
 // shard — memory migrates between shards exactly like mimalloc pages do.
+//
+// The *depot* closes the recycling loop the background reclaimer would
+// otherwise break: with a service thread doing all the freeing, every
+// recycled node lands in the reclaimer's shard while the mutators carve
+// fresh blocks forever.  The reclaimer donates its shard's whole free-list
+// chains after each round (donate_free_lists), and a mutator whose local
+// list runs dry takes one whole chain before falling back to carving — one
+// mutex acquisition per ~scan_threshold allocations, never per node.
 #pragma once
 
 #include <atomic>
@@ -21,6 +29,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <vector>
 
@@ -73,6 +82,17 @@ class NodePool {
       ++s.reused;
       return n;
     }
+    // Local list dry: adopt one whole donated chain before carving.  The
+    // gauge check keeps the no-depot case (background reclaim off) free of
+    // any lock traffic.
+    if (depot_chains_.load(std::memory_order_relaxed) > 0) {
+      if (ReclaimNode* n = depot_take(cls)) {
+        s.free_lists[cls] = n->smr_next;
+        assert(n->debug_state == kNodeFreed);
+        ++s.reused;
+        return n;
+      }
+    }
     return carve(s, cls);
   }
 
@@ -86,6 +106,34 @@ class NodePool {
     n->smr_next = s.free_lists[cls];
     s.free_lists[cls] = n;
     ++s.freed;
+  }
+
+  // Moves every free-list chain of shard `tid` into the depot.  Must be
+  // called by the shard's owner (the background reclaimer, on its own shard,
+  // after a reclamation round) — the shard lists are single-owner, only the
+  // depot itself is shared.  One lock covers all size classes.
+  void donate_free_lists(unsigned tid) {
+    Shard& s = shard(tid);
+    ReclaimNode* chains[kNumClasses];
+    unsigned n = 0;
+    for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+      if (s.free_lists[cls] != nullptr) ++n;
+      chains[cls] = s.free_lists[cls];
+      s.free_lists[cls] = nullptr;
+    }
+    if (n == 0) return;
+    {
+      std::lock_guard<std::mutex> lock(depot_mu_);
+      for (std::size_t cls = 0; cls < kNumClasses; ++cls) {
+        if (chains[cls] != nullptr) depot_[cls].push_back(chains[cls]);
+      }
+    }
+    depot_chains_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  // Depot gauge (tests / introspection).
+  std::uint64_t depot_chain_count() const noexcept {
+    return depot_chains_.load(std::memory_order_relaxed);
   }
 
   // --- statistics (tests / introspection; racy snapshots by design) -------
@@ -155,11 +203,27 @@ class NodePool {
     return cellp + sizeof(AllocHeader);
   }
 
+  // Pops one chain of class `cls` from the depot (nullptr if none).  The
+  // chains gauge is decremented inside the lock so it can transiently read
+  // high, never low — alloc's lock-free pre-check stays conservative.
+  ReclaimNode* depot_take(std::size_t cls) {
+    std::lock_guard<std::mutex> lock(depot_mu_);
+    auto& chains = depot_[cls];
+    if (chains.empty()) return nullptr;
+    ReclaimNode* head = chains.back();
+    chains.pop_back();
+    depot_chains_.fetch_sub(1, std::memory_order_relaxed);
+    return head;
+  }
+
   // Lazily materialized, lock-free shard directory: chunks are installed by
   // CAS and never freed while the pool lives, so Shard references obtained
   // by running threads stay valid across concurrent growth.
   AtomicChunkedArray<Padded<Shard>> shards_;
   std::atomic<unsigned> shard_count_{0};
+  std::mutex depot_mu_;
+  std::vector<ReclaimNode*> depot_[kNumClasses];
+  std::atomic<std::uint64_t> depot_chains_{0};
 };
 
 }  // namespace scot

@@ -40,6 +40,7 @@
 #include "smr/handle_core.hpp"
 #include "smr/handle_registry.hpp"
 #include "smr/node_pool.hpp"
+#include "smr/reclaimer.hpp"
 #include "smr/smr_config.hpp"
 
 namespace scot {
@@ -80,7 +81,14 @@ class NoReclaimDomain {
   };
 
   explicit NoReclaimDomain(SmrConfig cfg = {})
-      : cfg_(cfg), pool_(cfg.max_threads), shim_(cfg.max_threads) {}
+      : cfg_(cfg),
+        pool_(cfg.max_threads)
+#ifndef SCOT_DISALLOW_TID_SHIM
+        ,
+        shim_(cfg.max_threads)
+#endif
+  {
+  }
 
   // --- dynamic membership --------------------------------------------------
   // Claims a per-thread handle; the returned reference stays valid until
@@ -110,9 +118,20 @@ class NoReclaimDomain {
   }
   const HandleRegistry<Handle>& registry() const noexcept { return registry_; }
 
+#ifndef SCOT_DISALLOW_TID_SHIM
   // DEPRECATED: fixed-capacity tid-indexed access (joins once per tid and
   // pins the record forever).  New code should use scoped_handle(domain).
   Handle& handle(unsigned tid) { return shim_.get(*this, tid); }
+#endif
+
+  // --- background reclamation ---------------------------------------------
+  // NR never reclaims, so there is nothing for a service thread to do; the
+  // uniform accessors keep generic callers (bench runner, tests) scheme-
+  // agnostic.  start/stop are accepted and ignored.
+  bool background_active() const noexcept { return false; }
+  BgReclaimStats background_stats() const noexcept { return {}; }
+  void start_background_reclaimer() noexcept {}
+  void stop_background_reclaimer() noexcept {}
 
   const SmrConfig& config() const noexcept { return cfg_; }
   NodePool& pool() noexcept { return pool_; }
@@ -148,7 +167,12 @@ class NoReclaimDomain {
   // cell list must be destroyed after the records are.
   obs::DomainStats stats_obs_;
   HandleRegistry<Handle> registry_;
+#ifndef SCOT_DISALLOW_TID_SHIM
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
   TidHandleShim<Handle> shim_;
+#pragma GCC diagnostic pop
+#endif
 };
 
 }  // namespace scot

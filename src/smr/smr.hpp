@@ -32,7 +32,9 @@ concept SmrDomain = requires(D d, typename D::Handle& h,
                              ReclaimNode* n, unsigned idx) {
   { D::kName } -> std::convertible_to<const char*>;
   { D::kRobust } -> std::convertible_to<bool>;
+#ifndef SCOT_DISALLOW_TID_SHIM
   { d.handle(idx) } -> std::same_as<typename D::Handle&>;
+#endif
   { d.pending_nodes() } -> std::convertible_to<std::int64_t>;
   h.begin_op();
   h.end_op();
@@ -95,6 +97,12 @@ concept SmrDomainDynamic =
       { d.total_handle_records() } -> std::convertible_to<std::size_t>;
       { d.registry() } ->
           std::same_as<const HandleRegistry<typename D::Handle>&>;
+      // Background reclamation (DESIGN.md §9): every domain exposes the
+      // uniform lifecycle surface; NR's is a no-op.
+      { d.background_active() } -> std::convertible_to<bool>;
+      { d.background_stats() } -> std::same_as<BgReclaimStats>;
+      d.start_background_reclaimer();
+      d.stop_background_reclaimer();
     };
 
 static_assert(SmrDomainDynamic<NoReclaimDomain>);

@@ -26,6 +26,21 @@ inline bool asym_fences_default() noexcept {
   return v;
 }
 
+// Default for SmrConfig::background_reclaim: off, unless SCOT_BG is set to a
+// truth-y value.  Mirrors SCOT_ASYM (inverted polarity: the reclaimer is
+// opt-in) so CI can run the whole test matrix with a service thread per
+// domain without touching any test code.
+inline bool bg_reclaim_default() noexcept {
+  static const bool v = [] {
+    const char* e = std::getenv("SCOT_BG");
+    if (e == nullptr) return false;
+    const std::string_view s(e);
+    return !(s.empty() || s == "0" || s == "false" || s == "off" ||
+             s == "no");
+  }();
+  return v;
+}
+
 }  // namespace smr_config_detail
 
 struct SmrConfig {
@@ -67,6 +82,24 @@ struct SmrConfig {
   // automatically to per-slot seq_cst fences when sys_membarrier is
   // unavailable.  Default honours the SCOT_ASYM env knob.
   bool asymmetric_fences = smr_config_detail::asym_fences_default();
+
+  // Background reclaimer (smr/reclaimer.hpp, DESIGN.md §9).  When on, the
+  // domain runs one service thread: mutators hand full retire batches over a
+  // lock-free mailbox instead of scanning inline, and the service thread
+  // amortizes the one heavy barrier per reclamation round across every
+  // donated batch.  Default honours the SCOT_BG env knob (off unless set).
+  bool background_reclaim = smr_config_detail::bg_reclaim_default();
+
+  // Reclaimer round period in microseconds: the service thread wakes at
+  // least this often even when no mutator rings its doorbell (a donation
+  // signal can be missed by at most one period — DESIGN.md §9).
+  unsigned reclaim_interval_us = 100;
+
+  // Adaptive-control target for the pending-node gauge, in nodes (0 = no
+  // adaptation).  While pending exceeds the target the reclaimer halves the
+  // effective scan_threshold/era_freq (floors apply); once pending drops
+  // below half the target they relax back toward the configured values.
+  std::uint64_t memory_target = 0;
 };
 
 // Domain-wide counters.  `pending` drives Figures 10-12 (average number of

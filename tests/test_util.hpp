@@ -47,6 +47,11 @@ inline SmrConfig small_config(unsigned threads = 4) {
   cfg.max_threads = threads;
   cfg.scan_threshold = 16;
   cfg.era_freq = 8;
+  // These suites assert inline-reclamation semantics — who scans, when, and
+  // with which handle identity — so the background reclaimer is pinned off
+  // regardless of the SCOT_BG environment default.  reclaimer_test opts in
+  // explicitly; everything else runs the machinery it is actually testing.
+  cfg.background_reclaim = false;
   return cfg;
 }
 
