@@ -68,6 +68,11 @@ inline void apply_session_flags(CaseConfig& cfg) {
   cfg.background_reclaim = f.bg;
   cfg.reclaim_interval_us = f.reclaim_interval_us;
   cfg.memory_target = f.memory_target;
+  // Serving-layer shape (bench_kv).  --shards is grid state, not case
+  // state — bench_kv picks its shard counts before building cases — so
+  // only the per-case knobs flow through here.
+  cfg.value_size = f.value_size;
+  cfg.key_len = f.key_len;
   if (f.preset) {
     cfg.read_pct = f.preset->read_pct;
     cfg.insert_pct = f.preset->insert_pct;

@@ -64,6 +64,12 @@ inline std::optional<WorkloadMix> preset_from_name(std::string_view name) {
   if (name == "mixed") return WorkloadMix{50, 25, 25};
   if (name == "read-mostly") return WorkloadMix{90, 5, 5};
   if (name == "write-heavy") return WorkloadMix{10, 45, 45};
+  // YCSB-shaped serving mixes (bench_kv).  The middle component is the
+  // write share: the kv harness issues it as put() (update-or-insert), the
+  // integer-keyed binaries as insert.  YCSB A/B/C have no deletes.
+  if (name == "ycsb-a") return WorkloadMix{50, 50, 0};
+  if (name == "ycsb-b") return WorkloadMix{95, 5, 0};
+  if (name == "ycsb-c") return WorkloadMix{100, 0, 0};
   return std::nullopt;
 }
 
@@ -102,6 +108,12 @@ struct CaseConfig {
   bool background_reclaim = smr_config_detail::bg_reclaim_default();
   unsigned reclaim_interval_us = 100;   // --reclaim-interval-us <n>
   std::uint64_t memory_target = 0;      // --memory-target <nodes>; 0 = off
+  // Serving-layer (bench_kv) shape.  0 means "not a kv case": the fields
+  // stay out of cell keys and JSON diffs for the integer-keyed binaries,
+  // so pre-v4 baselines keep diffing clean.
+  std::size_t value_size = 0;   // --value-size <bytes>: kv value payload
+  std::size_t key_len = 0;      // --key-len <bytes>: kv key width (padded)
+  unsigned kv_shards = 0;       // --shards <n>: KvStore shard count
 };
 
 struct CaseResult {
@@ -192,14 +204,19 @@ struct BenchFlags {
                                        // --bg/--no-bg: background reclaimer
   unsigned reclaim_interval_us = 100;  // --reclaim-interval-us <n>
   std::uint64_t memory_target = 0;     // --memory-target <nodes>; 0 = off
+  std::size_t value_size = 0;          // --value-size <bytes>; 0 = binary's
+                                       // default (kv binaries only)
+  std::size_t key_len = 0;             // --key-len <bytes>; 0 = default
+  unsigned kv_shards = 0;              // --shards <n>; 0 = binary's grid
   bool help = false;                   // --help seen; caller prints usage
 };
 
 inline constexpr const char* kFlagUsage =
     "[--seed <n>] [--json <path>] [--dist uniform|zipfian] [--theta <0..1>] "
-    "[--preset mixed|read-mostly|write-heavy] [--pin] [--ops <n>] "
-    "[--no-asym|--asym] [--bg|--no-bg] [--reclaim-interval-us <n>] "
-    "[--memory-target <nodes>] [--help]";
+    "[--preset mixed|read-mostly|write-heavy|ycsb-a|ycsb-b|ycsb-c] [--pin] "
+    "[--ops <n>] [--no-asym|--asym] [--bg|--no-bg] "
+    "[--reclaim-interval-us <n>] [--memory-target <nodes>] "
+    "[--value-size <bytes>] [--key-len <bytes>] [--shards <n>] [--help]";
 
 // Removes the recognised --flags (and their values) from `args`, leaving
 // positional arguments in place.  Returns false with a one-line `error` on
@@ -284,6 +301,28 @@ inline bool extract_bench_flags(std::vector<std::string>& args,
       if (!v || !parse_decimal(*v, n) || n <= 0)
         return fail("--ops needs a positive per-thread operation count");
       out.op_budget = static_cast<std::uint64_t>(n);
+    } else if (a == "--value-size") {
+      // Upper bound is the serving layer's pooled-cell ceiling (values are
+      // inline blob nodes; see src/kv/kv_hash_map.hpp max_value_bytes()).
+      const std::string* v = next_value();
+      long long n = 0;
+      if (!v || !parse_decimal(*v, n) || n <= 0 || n > 4096)
+        return fail("--value-size needs bytes in [1, 4096]");
+      out.value_size = static_cast<std::size_t>(n);
+    } else if (a == "--key-len") {
+      const std::string* v = next_value();
+      long long n = 0;
+      if (!v || !parse_decimal(*v, n) || n <= 0 || n > 1024)
+        return fail("--key-len needs bytes in [1, 1024]");
+      out.key_len = static_cast<std::size_t>(n);
+    } else if (a == "--shards") {
+      // The router uses the hash's top 16 bits, so more than 65536 shards
+      // can never be addressed.
+      const std::string* v = next_value();
+      long long n = 0;
+      if (!v || !parse_decimal(*v, n) || n <= 0 || n > 65536)
+        return fail("--shards needs a shard count in [1, 65536]");
+      out.kv_shards = static_cast<unsigned>(n);
     } else {
       return fail("unknown flag '" + a + "'");
     }
@@ -372,6 +411,9 @@ inline std::optional<CaseConfig> parse_cli(int argc, const char* const* argv,
   cfg.background_reclaim = flags.bg;
   cfg.reclaim_interval_us = flags.reclaim_interval_us;
   cfg.memory_target = flags.memory_target;
+  cfg.value_size = flags.value_size;
+  cfg.key_len = flags.key_len;
+  cfg.kv_shards = flags.kv_shards;
   if (flags.preset) {
     cfg.read_pct = flags.preset->read_pct;
     cfg.insert_pct = flags.preset->insert_pct;

@@ -19,8 +19,11 @@ inline constexpr const char* kReportSchemaName = "scot-bench";
 // grows a "|bg" suffix only when the reclaimer is on).  Strictly additive:
 // the parser still loads v1/v2 files (the new fields default to 0/false/off),
 // and cell_key() ignores measurements, so old baselines diff cleanly
-// against new runs.
-inline constexpr int kReportSchemaVersion = 3;
+// against new runs.  v4 adds the serving-layer cell fields
+// (value_size/key_len/shards; cell_key grows "|vs<n>"/"|kl<n>"/"|sh<n>"
+// suffixes only when non-zero) — again additive, so integer-keyed cells
+// keep their v3 keys byte-for-byte.
+inline constexpr int kReportSchemaVersion = 4;
 
 struct ReportMeta {
   std::string schema = kReportSchemaName;

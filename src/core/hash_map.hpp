@@ -3,8 +3,11 @@
 // The paper (§2.3, §6.2) treats hash maps as "simply arrays of Harris' or
 // Harris-Michael lists"; this adapter provides exactly that, giving the
 // examples a realistic key-value workload on top of the SCOT list.  The
-// bucket count is fixed at construction (Michael's classic design; resizing
-// is out of scope for the paper and for this reproduction).
+// bucket count is fixed at construction, faithful to the paper's setup.
+// For a growable table use the serving layer's KvHashMap
+// (src/kv/kv_hash_map.hpp): lock-free incremental resize — CAS-installed
+// directory doubling with cooperative per-bucket migration, old buckets
+// retired through the same SMR domain — per the contract in DESIGN.md §10.
 #pragma once
 
 #include <cstddef>

@@ -34,6 +34,7 @@ enum class StructureId {
   kSkipListEager,   // Herlihy-Shavit-style eager unlink (baseline)
   kHListNoRecovery, // trait ablation §3.2.1: restart-from-head, no recovery
   kHListSimple,     // trait ablation §3.2: simple (Fig 5 left) Do_Find
+  kKvHash,          // string-keyed resizable hash map (src/kv/, DESIGN.md §10)
   kNone,            // SMR-layer microbench cells (no data structure)
 };
 
@@ -49,6 +50,12 @@ inline constexpr StructureId kAllStructures[] = {
 inline constexpr StructureId kAblationStructures[] = {
     StructureId::kHListNoRecovery, StructureId::kHListSimple};
 
+// String-keyed structures served through AnyKv/KvStore (src/kv/).  A
+// separate table because the uint64-keyed grids above cannot iterate them:
+// the op surface (string_view keys, blob values) is different, so they get
+// their own cross-product tests and "kv:" bench cells.
+inline constexpr StructureId kKvStructures[] = {StructureId::kKvHash};
+
 inline const char* structure_name(StructureId s) noexcept {
   switch (s) {
     case StructureId::kHMList: return "HMList";
@@ -60,6 +67,7 @@ inline const char* structure_name(StructureId s) noexcept {
     case StructureId::kSkipListEager: return "SkipListHS";
     case StructureId::kHListNoRecovery: return "HListNoRec";
     case StructureId::kHListSimple: return "HListSimple";
+    case StructureId::kKvHash: return "KvHash";
     case StructureId::kNone: return "none";
   }
   return "?";
@@ -72,6 +80,9 @@ inline const char* structure_name(StructureId s) noexcept {
 inline std::optional<StructureId> structure_from_name(std::string_view name) {
   if (name == structure_name(StructureId::kNone)) return StructureId::kNone;
   for (StructureId s : kAblationStructures) {
+    if (name == structure_name(s)) return s;
+  }
+  for (StructureId s : kKvStructures) {
     if (name == structure_name(s)) return s;
   }
   for (StructureId s : kAllStructures) {
@@ -145,6 +156,63 @@ class AnyMapRegistry {
 
  private:
   AnyMapRegistry() = default;
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+};
+
+// --- AnyKv factory registry -----------------------------------------------
+
+struct AnyKvOptions;  // kv/any_kv.hpp
+namespace detail {
+class AnyKvImpl;  // kv/any_kv.hpp
+}
+
+// The string-keyed sibling of AnyMapRegistry: maps (scheme, structure) to a
+// factory for the type-erased KV shard implementation.  Populated by
+// src/kv/any_kv.cpp (scheme cross product × kKvStructures); queried by
+// AnyKv::make() and, per shard, by KvStore::make().
+class AnyKvRegistry {
+ public:
+  using Factory = std::unique_ptr<detail::AnyKvImpl> (*)(const AnyKvOptions&);
+
+  struct Entry {
+    SchemeId scheme;
+    StructureId structure;
+    Factory factory;
+  };
+
+  static AnyKvRegistry& instance() {
+    static AnyKvRegistry registry;
+    return registry;
+  }
+
+  // Last registration for a cell wins, so tests can shadow a factory.
+  void add(SchemeId scheme, StructureId structure, Factory factory) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Entry& e : entries_) {
+      if (e.scheme == scheme && e.structure == structure) {
+        e.factory = factory;
+        return;
+      }
+    }
+    entries_.push_back(Entry{scheme, structure, factory});
+  }
+
+  Factory find(SchemeId scheme, StructureId structure) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const Entry& e : entries_) {
+      if (e.scheme == scheme && e.structure == structure) return e.factory;
+    }
+    return nullptr;
+  }
+
+  std::vector<Entry> entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_;
+  }
+
+ private:
+  AnyKvRegistry() = default;
   mutable std::mutex mu_;
   std::vector<Entry> entries_;
 };

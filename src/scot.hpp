@@ -9,7 +9,9 @@
 //   * scheme/structure identity as runtime values (smr/registry.hpp,
 //     core/registry.hpp),
 //   * the type-erased scot::AnyMap facade with runtime scheme and
-//     structure selection (core/any_map.hpp; link the `scot_any` library).
+//     structure selection (core/any_map.hpp; link the `scot_any` library),
+//   * the string-keyed serving layer — scot::AnyKv shards and the sharded
+//     scot::KvStore (kv/; link the `scot_kv` library).
 //
 // Typed quick start (per-thread membership is dynamic: scoped_handle()
 // joins the domain's handle registry and leaves at scope exit):
@@ -35,6 +37,8 @@
 #include "core/any_map.hpp"
 #include "core/core.hpp"
 #include "core/registry.hpp"
+#include "kv/any_kv.hpp"
+#include "kv/kv_store.hpp"
 #include "smr/guard.hpp"
 #include "smr/registry.hpp"
 #include "smr/smr.hpp"

@@ -112,6 +112,29 @@ class HandleCore {
     return n;
   }
 
+  // alloc() with `extra` trailing bytes for inline variable-length payloads
+  // (string keys, value blobs).  The payload lives inside the pooled cell
+  // right after T, so it is freed with the node and needs no destructor —
+  // which keeps the trivially-destructible contract intact.  The caller
+  // copies the bytes in after construction; the publishing CAS (release on
+  // every scheme's traversal protocol) orders those writes before any
+  // reader can reach the node.
+  template <class T, class... Args>
+  T* alloc_extra(std::size_t extra, Args&&... args) {
+    static_assert(std::is_base_of_v<ReclaimNode, T>);
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "pooled nodes must be trivially destructible");
+    const std::size_t bytes = sizeof(T) + extra;
+    assert(bytes <= NodePool::max_node_bytes());
+    void* mem = dom_->pool().alloc(tid_, bytes);
+    header_of(mem)->birth_era.store(derived()->on_alloc_era(),
+                                    std::memory_order_release);
+    T* n = new (mem) T(std::forward<Args>(args)...);
+    n->alloc_size = static_cast<std::uint32_t>(bytes);
+    n->debug_state = kNodeLive;
+    return n;
+  }
+
   // Frees a node that was never published into a shared structure (e.g. the
   // loser of an insertion CAS).  Bypasses retirement entirely.
   template <class T>

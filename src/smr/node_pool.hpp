@@ -42,7 +42,12 @@ namespace scot {
 class NodePool {
  public:
   static constexpr std::size_t kGranularity = 32;
-  static constexpr std::size_t kNumClasses = 16;  // up to 512-byte cells
+  // Size classes cover every pooled node up to ~4KB cells so the kv layer's
+  // inline value blobs (64B–4KB serving payloads) come from the same
+  // per-thread shards as the small structure nodes.  Class 0 is still 32
+  // bytes; the free-list array per shard grows to ~1KB, which is noise next
+  // to the 256KB blocks.
+  static constexpr std::size_t kNumClasses = 136;  // up to 4352-byte cells
   static constexpr std::size_t kBlockBytes = 256 * 1024;
 
   // `shards` is only the initial population; ensure_shards() grows the

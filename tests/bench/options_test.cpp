@@ -229,6 +229,11 @@ TEST(Options, MalformedFlagValuesAreRejected) {
       {"--theta", "0"},     {"--theta", "1"},      {"--theta", "1.5"},
       {"--theta", "x"},     {"--preset", "spicy"}, {"--preset", nullptr},
       {"--ops", "0"},       {"--ops", "-5"},       {"--ops", "1x"},
+      {"--value-size", "0"},     {"--value-size", "4097"},
+      {"--value-size", nullptr}, {"--value-size", "2x"},
+      {"--key-len", "0"},        {"--key-len", "1025"},
+      {"--key-len", nullptr},    {"--shards", "0"},
+      {"--shards", "65537"},     {"--shards", nullptr},
       // A following flag is not a value: --json must not swallow --pin.
       {"--json", "--pin"},  {"--seed", "--pin"},
   };
@@ -358,6 +363,54 @@ TEST(Options, PresetNamesResolve) {
   EXPECT_EQ(preset_from_name("write-heavy")->read_pct, 10);
   EXPECT_FALSE(preset_from_name("MIXED").has_value()) << "case-exact";
   EXPECT_FALSE(preset_from_name("").has_value());
+}
+
+TEST(Options, YcsbPresetsResolveWithNoDeletes) {
+  const struct {
+    const char* name;
+    int read, write;
+  } cases[] = {{"ycsb-a", 50, 50}, {"ycsb-b", 95, 5}, {"ycsb-c", 100, 0}};
+  for (const auto& c : cases) {
+    const auto p = preset_from_name(c.name);
+    ASSERT_TRUE(p.has_value()) << c.name;
+    EXPECT_EQ(p->read_pct, c.read) << c.name;
+    EXPECT_EQ(p->insert_pct, c.write) << c.name;
+    EXPECT_EQ(p->delete_pct, 0) << c.name;
+    EXPECT_EQ(p->read_pct + p->insert_pct + p->delete_pct, 100) << c.name;
+  }
+  EXPECT_FALSE(preset_from_name("ycsb-d").has_value());
+  // And through the CLI: a YCSB preset overrides the positional mix the
+  // same way the classic presets do.
+  auto args = kGoodArgs;
+  args.push_back("--preset");
+  args.push_back("ycsb-b");
+  const auto cfg = parse(args);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->read_pct, 95);
+  EXPECT_EQ(cfg->insert_pct, 5);
+  EXPECT_EQ(cfg->delete_pct, 0);
+}
+
+TEST(Options, KvShapeFlagsPlumbIntoConfig) {
+  EXPECT_EQ(parse(kGoodArgs)->value_size, 0u) << "0 = not a kv case";
+  EXPECT_EQ(parse(kGoodArgs)->key_len, 0u);
+  EXPECT_EQ(parse(kGoodArgs)->kv_shards, 0u);
+  auto args = kGoodArgs;
+  for (const char* extra :
+       {"--value-size", "1024", "--key-len", "24", "--shards", "8"})
+    args.push_back(extra);
+  const auto cfg = parse(args);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_EQ(cfg->value_size, 1024u);
+  EXPECT_EQ(cfg->key_len, 24u);
+  EXPECT_EQ(cfg->kv_shards, 8u);
+  // Boundary values are accepted (the serving layer's pooled-cell ceiling
+  // and the 16-bit shard router).
+  auto args2 = kGoodArgs;
+  for (const char* extra :
+       {"--value-size", "4096", "--key-len", "1024", "--shards", "65536"})
+    args2.push_back(extra);
+  ASSERT_TRUE(parse(args2).has_value());
 }
 
 TEST(Options, KeyDistNamesRoundTrip) {

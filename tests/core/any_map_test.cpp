@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 #include "scot.hpp"
@@ -160,6 +161,87 @@ TEST(AnyMap, EveryCellConcurrentChurnSmoke) {
       // itself is workload-dependent).
       (void)map->restarts();
       (void)map->recoveries();
+    }
+  }
+}
+
+// ---- String-keyed cells (scot::AnyKv, src/kv/) ----------------------------
+// The serving layer reuses the same runtime-registry pattern with typed
+// (string) keys, so the cross-product checks live here next to their
+// integer-keyed siblings.  Deeper resize/hammer coverage is kv_store_test.
+
+AnyKvOptions small_kv_options(unsigned threads = 2) {
+  AnyKvOptions options;
+  options.smr = test::small_config(threads);
+  options.smr.track_stats = true;
+  options.initial_buckets = 8;
+  return options;
+}
+
+// Every scheme serves the KvHash cell with arbitrary byte-string keys and
+// values: insert-vs-update distinction, read-back, erase, and keys that
+// are not C strings (embedded NUL).
+TEST(AnyKv, StringKeyedCellSemanticsAllSchemes) {
+  const std::string nul_key = std::string("a\0b", 3);
+  for (SchemeId s : kAllSchemes) {
+    for (StructureId d : kKvStructures) {
+      SCOPED_TRACE(cell_name(s, d));
+      auto kv = AnyKv::make(s, d, small_kv_options());
+      ASSERT_TRUE(kv.has_value());
+      auto session = kv->session();
+      EXPECT_TRUE(session.put("alpha", "one"));
+      EXPECT_TRUE(session.put(nul_key, "nul"));
+      EXPECT_TRUE(session.put("empty", ""));
+      EXPECT_FALSE(session.put("alpha", "uno"));  // update, not insert
+      EXPECT_EQ(session.get("alpha"), std::optional<std::string>("uno"));
+      EXPECT_EQ(session.get(nul_key), std::optional<std::string>("nul"));
+      EXPECT_EQ(session.get("empty"), std::optional<std::string>(""));
+      EXPECT_FALSE(session.get("absent").has_value());
+      EXPECT_TRUE(session.erase(nul_key));
+      EXPECT_FALSE(session.erase(nul_key));
+      EXPECT_FALSE(session.contains(nul_key));
+      EXPECT_TRUE(session.contains("alpha"));
+      session.reset();
+      EXPECT_EQ(kv->size_unsafe(), 2u);
+    }
+  }
+}
+
+// Two-session churn over a small string keyspace for every scheme: the
+// typed-key analogue of EveryCellConcurrentChurnSmoke.
+TEST(AnyKv, StringKeyedChurnSmokeAllSchemes) {
+  const int iters = test::scaled_iters(600);
+  constexpr std::uint64_t kRange = 32;
+  for (SchemeId s : kAllSchemes) {
+    for (StructureId d : kKvStructures) {
+      SCOPED_TRACE(cell_name(s, d));
+      auto kv = AnyKv::make(s, d, small_kv_options(2));
+      ASSERT_TRUE(kv.has_value());
+      test::run_threads(2, [&](unsigned tid) {
+        auto session = kv->session();
+        Xoshiro256 rng(0xC0FFEE + tid);
+        std::string value;
+        char kb[24];
+        for (int i = 0; i < iters; ++i) {
+          std::snprintf(kb, sizeof(kb), "k%llu",
+                        static_cast<unsigned long long>(rng.next_in(kRange)));
+          const std::string key(kb);
+          switch (rng.next_in(3)) {
+            case 0: session.put(key, key); break;
+            case 1: session.erase(key); break;
+            default: {
+              if (session.get(key, &value)) {
+                EXPECT_EQ(value, key);
+              }
+              break;
+            }
+          }
+        }
+      });
+      EXPECT_LE(kv->size_unsafe(), kRange);
+      EXPECT_GE(kv->pending_nodes(), 0);
+      (void)kv->restarts();
+      (void)kv->recoveries();
     }
   }
 }
