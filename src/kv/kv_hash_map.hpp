@@ -19,10 +19,14 @@
 // via alloc_extra(), so values up to ~4KB recycle through the same
 // per-thread shards as list nodes.
 //
-// Incremental resize (freeze -> copy -> DONE -> sever -> retire):
+// Incremental resize (freeze -> copy -> DONE -> seal -> sever -> retire):
 //   * One doubling round in flight at a time (`pending_` counts old-gen
-//     buckets not yet DONE; the winner of pending_ 0->N extends the
-//     directory, then publishes gen_+1).
+//     buckets not yet DONE; the winner of pending_ 0->N re-validates gen_
+//     under the claim — a claimant that slept across complete rounds
+//     between its gen_ load and the CAS win must not publish over a later
+//     generation, so a stale claim is simply undone — then extends the
+//     directory, seeds every child head with kPendBit, and publishes
+//     gen_+1.  gen_ only ever moves g -> g+1 by CAS, so it is monotone).
 //   * Every operation routes by the current generation; while a round is in
 //     flight it first checks the *parent* bucket (same low index bits, one
 //     generation down) and, if that parent is not DONE, migrates it to
@@ -38,9 +42,14 @@
 //     fresh copy of every live pair (val not tagged-null) into the child
 //     buckets of the next generation.  Normal operations never touch a
 //     child chain before the parent is DONE, so a half-copied child is
-//     never observable.
-//   * The DONE CAS winner severs every link (head, next, val) to
-//     tagged-null FIRST and only then retires the old nodes and blobs
+//     never observable.  While the round is in flight EVERY word of a
+//     child chain — the seeded head, each node's next, the terminal null —
+//     carries kPendBit; insert_copy installs pend-tagged words and bails
+//     out the moment it reads a word without the bit.
+//   * The DONE CAS winner first SEALS both child chains (clears kPendBit
+//     from every link; clients that race the seal help by clearing any
+//     pend word they meet), then severs every parent link (head, next,
+//     val) to tagged-null, and only then retires the old nodes and blobs
 //     through the shard's SMR domain — the unlink-before-retire order that
 //     hazard-style validation needs.  Readers still standing on the frozen
 //     chain hold hazard/era protection, so reclamation waits for them.  A
@@ -49,15 +58,21 @@
 //     newer values), and a tagged-null val is reported absent only when the
 //     node's next link is untagged — sever tags it, an erase at most marks
 //     it — because a severed pair may be live in the child.  Both checks
-//     re-route the op through the current generation otherwise.
+//     re-route the op through the current generation otherwise.  The
+//     pending_ decrement happens after the seal, so a later round's freeze
+//     never observes a pend word.
 //   * A helper can sleep at any point and wake after its round — or several
 //     later rounds — completed, so every helper loop has an escape hatch:
 //     the freeze and copy walks are hazard-protected and re-check the
-//     bucket's DONE flag, and insert_copy bails out of a child chain that
-//     shows any tag or mark (either is only possible once the parent round
-//     is over) and re-checks DONE immediately before its commit CAS, so a
-//     stale helper can neither spin against a severed chain nor resurrect
-//     a key that a live eraser removed after the round (DESIGN.md §10).
+//     bucket's DONE flag, and insert_copy requires kPendBit on every word
+//     it traverses and on its commit CAS's expected value.  That closes
+//     the insert-then-delete ABA: post-round client mutations only ever
+//     install pend-free words (the seal strips the bit, erase/unlink
+//     install clean() words, inserts install clean words), so a stale
+//     helper's pend-expected commit can only succeed while the round is
+//     still in flight — it can neither spin against a severed chain nor
+//     resurrect a key that a live eraser removed after the round
+//     (DESIGN.md §10 gives the full argument).
 #pragma once
 
 #include <algorithm>
@@ -69,6 +84,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/align.hpp"
@@ -273,12 +289,25 @@ class KvHashMap {
   // resize state (pending_migration() == 0 afterwards when no concurrent
   // writer starts a new round).
   void drain_migrations(Handle& h) {
-    while (pending_.load(std::memory_order_acquire) != 0) {
+    for (;;) {
+      const std::uint64_t p = pending_.load(std::memory_order_acquire);
+      if (p == 0) return;
       const std::uint32_t g = gen_.load(std::memory_order_acquire);
+      // pending_ == gen_count(g) with gen_ still g is exactly the
+      // claimed-but-unpublished window of round g -> g+1 (a published
+      // round's count starts at gen_count(g-1) and only shrinks; the
+      // re-read pins g to the value gen_ had when pending_ was sampled).
+      // There is nothing to migrate yet: help finish the publish if the
+      // winner has seeded the child directory, otherwise yield to it
+      // instead of hot-spinning over already-DONE buckets.
+      if (p == gen_count(g) && gen_.load(std::memory_order_acquire) == g) {
+        if (!try_help_publish(g)) std::this_thread::yield();
+        continue;
+      }
       if (g == 0) return;
-      for (std::size_t p = 0; p < gen_count(g - 1); ++p) {
-        if (slot_at(g - 1, p).done.load(std::memory_order_acquire) == 0)
-          migrate_bucket(h, g - 1, p);
+      for (std::size_t j = 0; j < gen_count(g - 1); ++j) {
+        if (slot_at(g - 1, j).done.load(std::memory_order_acquire) == 0)
+          migrate_bucket(h, g - 1, j);
       }
     }
   }
@@ -428,6 +457,15 @@ class KvHashMap {
         continue;
       }
       if (curr_m.tagged()) return {nullptr, nullptr, MP{}, FindStatus::kMigrate};
+      if (curr_m.pended()) {
+        // This bucket just became authoritative and its DONE winner is
+        // still sealing: help clear the construction bit and re-walk.
+        head.compare_exchange_strong(curr_m, curr_m.without_pend(),
+                                     std::memory_order_seq_cst,
+                                     std::memory_order_relaxed);
+        restart(g);
+        continue;
+      }
       KvNode* curr = curr_m.ptr();
       bool retry = false;
       while (curr != nullptr) {
@@ -437,9 +475,25 @@ class KvHashMap {
           break;
         }
         const MP pv = prev->load(std::memory_order_seq_cst);
+        if (pv == MP(curr).with_pend()) {
+          MP e = pv;
+          prev->compare_exchange_strong(e, MP(curr),
+                                        std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
+          retry = true;
+          break;
+        }
         if (pv != MP(curr)) {
           if (pv.tagged())
             return {nullptr, nullptr, MP{}, FindStatus::kMigrate};
+          retry = true;
+          break;
+        }
+        if (next.pended()) {
+          MP e = next;
+          curr->next.compare_exchange_strong(e, next.without_pend(),
+                                             std::memory_order_seq_cst,
+                                             std::memory_order_relaxed);
           retry = true;
           break;
         }
@@ -668,10 +722,53 @@ class KvHashMap {
                                           std::memory_order_seq_cst,
                                           std::memory_order_relaxed))
       return;  // another writer owns the round
-    // Extend the directory for generation g+1 BEFORE publishing it, so any
-    // thread that reads the new generation can address every child slot.
+    // Winning the claim is not yet the round's start: this thread may have
+    // slept between the gen_ load above and the CAS win, across one or more
+    // COMPLETE rounds (pending_ back at 0).  Publishing g+1 then would
+    // either wedge the map (pending_ counts buckets that are already DONE
+    // and can never be decremented again) or regress gen_ outright.  So
+    // re-validate under the claim: gen_ advances only while a claim is held
+    // and a stale claim blocks any new claim, so if it still reads g here
+    // it stays g until we publish.
+    if (gen_.load(std::memory_order_seq_cst) != g) {
+      // Stale claim.  While we held it no round could start and no
+      // decrement could land (every bucket of the completed rounds is
+      // DONE), so a plain store restores the idle state.
+      pending_.store(0, std::memory_order_release);
+      return;
+    }
+    // Extend the directory for generation g+1 and seed every child head
+    // with kPendBit BEFORE publishing, so (a) any thread that reads the new
+    // generation can address every child slot and (b) the in-flight child
+    // chains carry the construction bit from their very first word (the
+    // sole writer here is the validated claim holder: nothing else touches
+    // gen g+1 slots until gen_ is published).
     buckets_.ensure(gen_base(g + 1) + gen_count(g + 1) - 1);
-    gen_.store(g + 1, std::memory_order_seq_cst);
+    for (std::size_t j = 0; j < gen_count(g + 1); ++j)
+      slot_at(g + 1, j).head.store(MP(nullptr, kPendBit),
+                                   std::memory_order_relaxed);
+    seeded_gen_.store(g + 1, std::memory_order_release);
+    // CAS, not store: a drainer that saw seeded_gen_ may have published on
+    // our behalf, and by now later rounds may have run — a blind store
+    // could regress gen_.
+    std::uint32_t eg = g;
+    gen_.compare_exchange_strong(eg, g + 1, std::memory_order_seq_cst,
+                                 std::memory_order_relaxed);
+  }
+
+  // Finishes the publish of a claimed round g -> g+1 on the winner's
+  // behalf, once the winner has extended and seeded the child directory
+  // (seeded_gen_ == g+1; ensure/seed are permanent, so observing that value
+  // means the directory is usable forever after).  Safe against arbitrary
+  // staleness of `g`: gen_ is monotone and only this round's publish moves
+  // it from g, so the CAS succeeding means the round really was in its
+  // claimed-but-unpublished window.
+  bool try_help_publish(std::uint32_t g) {
+    if (seeded_gen_.load(std::memory_order_acquire) != g + 1) return false;
+    std::uint32_t eg = g;
+    gen_.compare_exchange_strong(eg, g + 1, std::memory_order_seq_cst,
+                                 std::memory_order_relaxed);
+    return true;
   }
 
   // Writers that see a round in flight migrate a couple of buckets past a
@@ -679,7 +776,13 @@ class KvHashMap {
   // access pattern never touches the cold buckets.
   void help_drain(Handle& h) {
     const std::uint32_t g = gen_.load(std::memory_order_acquire);
-    if (g == 0 || pending_.load(std::memory_order_acquire) == 0) return;
+    const std::uint64_t p = pending_.load(std::memory_order_acquire);
+    if (p == 0) return;
+    if (p == gen_count(g) && gen_.load(std::memory_order_acquire) == g) {
+      try_help_publish(g);  // claimed but unpublished: nothing to migrate
+      return;
+    }
+    if (g == 0) return;
     const std::size_t old_n = gen_count(g - 1);
     const std::uint64_t cur = cursor_.fetch_add(2, std::memory_order_relaxed);
     for (unsigned i = 0; i < 2; ++i) {
@@ -690,8 +793,9 @@ class KvHashMap {
   }
 
   // Brings bucket (old_gen, p) to DONE: freeze, cooperative copy, then the
-  // DONE winner severs and retires the old chain.  Runs to completion; safe
-  // to call from any number of helpers concurrently.
+  // DONE winner seals the child chains, severs and retires the old chain.
+  // Runs to completion; safe to call from any number of helpers
+  // concurrently.
   void migrate_bucket(Handle& h, std::uint32_t old_gen, std::size_t p) {
     BucketSlot& ps = slot_at(old_gen, p);
     if (ps.done.load(std::memory_order_acquire) != 0) return;
@@ -701,9 +805,59 @@ class KvHashMap {
     if (ps.done.compare_exchange_strong(expected, 1,
                                         std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
+      // Seal before the pending_ decrement: the next round can only claim
+      // once pending_ hits 0, so its freeze never meets a kPendBit word.
+      seal_chain(h, slot_at(old_gen + 1, p));
+      seal_chain(h, slot_at(old_gen + 1, p + gen_count(old_gen)));
       sever_and_retire(h, ps);
       migrated_.fetch_add(1, std::memory_order_relaxed);
       pending_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+
+  // DONE-winner epilogue, part 1: strips kPendBit from every link of a
+  // now-authoritative child chain (the seeded head, each node's next,
+  // including terminal nulls).  The chain is live — clients reached it the
+  // moment the parent's done flag rose — so the walk is hazard-protected
+  // and tolerates concurrent inserts (they install pend-free words),
+  // unlinks (an unlinked node's word no longer matters), and clients
+  // helping with the same clears.  No post-round mutation re-installs the
+  // bit and a stale copier's pend-expected commit cannot succeed once the
+  // round is over, so one completed pass leaves the chain pend-free.
+  void seal_chain(Handle& h, BucketSlot& cb) {
+    Guard g(h);
+    FreezeHp hp(g);
+    for (;;) {
+      MP head = cb.head.load(std::memory_order_seq_cst);
+      while (head.pended() &&
+             !cb.head.compare_exchange_strong(head, head.without_pend(),
+                                              std::memory_order_seq_cst,
+                                              std::memory_order_seq_cst)) {
+      }
+      MP curr_m = hp.curr.protect(cb.head);
+      if (!g.valid()) {
+        restart(g);
+        continue;
+      }
+      KvNode* n = curr_m.ptr();
+      bool invalidated = false;
+      while (n != nullptr) {
+        MP nx = n->next.load(std::memory_order_seq_cst);
+        while (nx.pended() &&
+               !n->next.compare_exchange_strong(nx, nx.without_pend(),
+                                                std::memory_order_seq_cst,
+                                                std::memory_order_seq_cst)) {
+        }
+        const Protected<KvNode> step = hp.next.protect(n->next);
+        if (!g.valid()) {
+          invalidated = true;
+          break;
+        }
+        n = step.get();
+        hp.curr.dup_from(hp.next);
+      }
+      if (!invalidated) return;
+      restart(g);
     }
   }
 
@@ -723,6 +877,10 @@ class KvHashMap {
     FreezeHp hp(g);
     for (;;) {
       MP head = ps.head.load(std::memory_order_seq_cst);
+      // A bucket only becomes a freeze target one full round after it was
+      // built, and its construction round sealed it before decrementing
+      // pending_ — so the construction bit must be long gone.
+      assert(!head.pended());
       while (!head.tagged() &&
              !ps.head.compare_exchange_strong(head, head.with_tag(),
                                               std::memory_order_seq_cst,
@@ -827,15 +985,19 @@ class KvHashMap {
   // bucket, which insert-if-absent absorbs.  A helper can also sleep here
   // across the end of its round and into later ones; then the child chain
   // is live — or frozen/severed by a later round — and this helper must
-  // not commit a stale copy.  Three escapes enforce that:
-  //   * any tagged word bails out (a child link can only be tagged once
-  //     the parent round is over),
-  //   * any marked node bails out (live erases exist only after the round;
-  //     in-flight child chains never carry marks),
-  //   * the commit CAS is preceded by a parent-DONE re-check.  A delete
-  //     that lands between that check and the CAS must unlink through the
-  //     very link the CAS expects, so the CAS fails and we re-examine —
-  //     the standard expected-value argument, applied to staleness.
+  // not commit a stale copy.  The kPendBit discipline enforces that:
+  // every word of an in-flight child chain carries the bit (seeded head,
+  // each installed next, terminal nulls), the DONE winner's seal strips it,
+  // and every post-round mutation installs pend-free words.  So this walk
+  // requires the bit on every word it reads — a clean, tagged, or marked
+  // word means the round is over — and the commit CAS's expected value
+  // carries it too.  That closes the insert-then-delete ABA a bare
+  // expected-value check cannot see: if another helper copies this key
+  // here, the round completes, and a client then erases and unlinks that
+  // copy, prev holds the pend-FREE word MP(curr) — our pend-expected CAS
+  // fails instead of resurrecting the erased key.  (The parent-DONE check
+  // before the commit is kept as a cheap early exit; the pend bit is what
+  // carries the safety argument, see DESIGN.md §10.)
   // Returns false when the whole copy pass must restart (guard invalidated
   // or round over); the caller re-checks the parent's DONE flag and exits.
   bool insert_copy(Guard& g, ChildHp& chp, Handle& h, BucketSlot& cb,
@@ -856,8 +1018,8 @@ class KvHashMap {
         discard();
         return false;
       }
-      if (curr_m.tagged()) {  // child frozen/severed: our round is over
-        discard();
+      if (curr_m.tagged() || !curr_m.pended()) {  // round over: sealed,
+        discard();                                // frozen, or severed
         return false;
       }
       KvNode* curr = curr_m.ptr();
@@ -869,15 +1031,15 @@ class KvHashMap {
           return false;
         }
         const MP pv = prev->load(std::memory_order_seq_cst);
-        if (pv != MP(curr)) {
-          if (pv.tagged()) {
+        if (pv != MP(curr, kPendBit)) {
+          if (pv.tagged() || !pv.pended()) {
             discard();
             return false;
           }
-          retry = true;
+          retry = true;  // a concurrent helper's copy landed here
           break;
         }
-        if (next.tagged() || next.marked()) {
+        if (next.tagged() || next.marked() || !next.pended()) {
           discard();
           return false;
         }
@@ -901,14 +1063,14 @@ class KvHashMap {
       if (n == nullptr) {
         n = make_node(h, hash, key, nb);
       }
-      n->next.store(MP(curr), std::memory_order_relaxed);
-      MP expected(curr);
-      if (prev->compare_exchange_strong(expected, MP(n),
+      n->next.store(MP(curr, kPendBit), std::memory_order_relaxed);
+      MP expected(curr, kPendBit);
+      if (prev->compare_exchange_strong(expected, MP(n, kPendBit),
                                         std::memory_order_seq_cst,
                                         std::memory_order_relaxed)) {
         return true;
       }
-      if (expected.tagged()) {
+      if (expected.tagged() || !expected.pended()) {
         discard();
         return false;
       }
@@ -951,6 +1113,11 @@ class KvHashMap {
   std::size_t max_buckets_ = std::size_t{1} << 20;
   unsigned max_load_factor_ = 4;
   alignas(kCacheLine) std::atomic<std::uint32_t> gen_{0};
+  // Highest generation whose directory extension + kPendBit head seeding
+  // has completed (monotone; written only by validated round claimants).
+  // Gates try_help_publish: helpers may finish a stalled winner's gen_
+  // publish only once the child slots are fully usable.
+  std::atomic<std::uint32_t> seeded_gen_{0};
   alignas(kCacheLine) std::atomic<std::uint64_t> pending_{0};
   std::atomic<std::uint64_t> cursor_{0};
   alignas(kCacheLine) std::atomic<std::int64_t> size_{0};

@@ -196,6 +196,87 @@ TEST(KvStore, StatsAggregateAcrossShardDomains) {
   EXPECT_EQ(store->size_unsafe(), 0u);
 }
 
+// Regression for the insert_copy ABA: a stale migration helper that slept
+// between its child-chain walk and its commit CAS must not resurrect a key
+// that a client erased after the round completed (the kPendBit discipline
+// makes the stale commit fail).  Checkers put+erase their own key and must
+// never see it again, while driver threads force back-to-back doubling
+// rounds underneath them.
+TEST(KvStore, EraseStaysErasedDuringResizeStorm) {
+  const int kCheckIters = scaled_iters(2000, 10);
+  const unsigned kDriverKeys = static_cast<unsigned>(scaled_iters(6000, 16));
+  KvStoreOptions o;
+  o.smr = small_config(16);
+  o.shards = 1;  // all traffic in one shard maximizes resize interference
+  o.initial_buckets_per_shard = 2;
+  auto store = KvStore::make(SchemeId::kEBR, StructureId::kKvHash, o);
+  ASSERT_TRUE(store.has_value());
+
+  std::atomic<bool> failed{false};
+  std::mutex fail_mu;
+  std::string fail_what;
+  const auto fail = [&](std::string what) {
+    std::lock_guard<std::mutex> lk(fail_mu);
+    if (!failed.exchange(true)) fail_what = std::move(what);
+  };
+  run_threads(4, [&](unsigned t) {
+    auto s = store->session();
+    if (t < 2) {
+      // Drivers: unique keys keep the load factor over the doubling
+      // threshold so migration rounds run for the whole test.
+      for (unsigned i = 0; i < kDriverKeys && !failed.load(); ++i)
+        s.put(key_of(t * 1000000u + i), value_of(i));
+    } else {
+      for (int i = 0; i < kCheckIters && !failed.load(); ++i) {
+        const std::string k = key_of(7000000u + t * 100000u +
+                                     static_cast<unsigned>(i % 8));
+        if (!s.put(k, "gone")) fail("checker put saw a live " + k);
+        if (!s.erase(k)) fail("checker erase lost " + k);
+        if (s.contains(k)) fail("erased key resurrected (contains): " + k);
+        if (s.get(k).has_value()) fail("erased key resurrected (get): " + k);
+      }
+    }
+  });
+  ASSERT_FALSE(failed.load()) << fail_what;
+  EXPECT_EQ(store->size_unsafe(), 2u * kDriverKeys);
+  EXPECT_EQ(store->pending_migration(), 0u);
+}
+
+// Regression for the resize-claim races: drainers hammer size_unsafe()
+// (which runs drain_migrations) while writers start round after round.  A
+// stale claimant publishing over a later generation used to wedge pending_
+// at a count nothing decrements — this test then hangs in drain — and the
+// claimed-but-unpublished window used to be a hot spin; now drainers help
+// publish or yield through it.
+TEST(KvStore, DrainRacesRoundClaimsWithoutWedging) {
+  const unsigned kDriverKeys = static_cast<unsigned>(scaled_iters(4000, 16));
+  KvStoreOptions o;
+  o.smr = small_config(16);
+  o.shards = 1;
+  o.initial_buckets_per_shard = 2;
+  auto store = KvStore::make(SchemeId::kHP, StructureId::kKvHash, o);
+  ASSERT_TRUE(store.has_value());
+
+  std::atomic<int> writers_done{0};
+  run_threads(4, [&](unsigned t) {
+    if (t < 3) {
+      auto s = store->session();
+      for (unsigned i = 0; i < kDriverKeys; ++i)
+        s.put(key_of(t * 1000000u + i), value_of(i));
+      writers_done.fetch_add(1);
+    } else {
+      // Drainer: every call must terminate with the in-flight round (if
+      // any) fully migrated, even when it interleaves with claim CASes.
+      do {
+        store->size_unsafe();
+      } while (writers_done.load() < 3);
+    }
+  });
+  EXPECT_EQ(store->size_unsafe(), 3u * kDriverKeys);
+  EXPECT_EQ(store->pending_migration(), 0u);
+  EXPECT_GT(store->bucket_count(), 2u);
+}
+
 // The ISSUE 9 hammer: concurrent resize vs. operations vs. session churn.
 // Two writer threads own disjoint must-survive ranges; two churn threads
 // update/erase/reinsert a shared volatile range; one session-churn thread
