@@ -73,6 +73,9 @@ inline void apply_session_flags(CaseConfig& cfg) {
   // only the per-case knobs flow through here.
   cfg.value_size = f.value_size;
   cfg.key_len = f.key_len;
+  // Container shape (bench_containers): --split pins producer/consumer
+  // roles; the map/kv binaries never read it.
+  cfg.split_workload = f.split;
   if (f.preset) {
     cfg.read_pct = f.preset->read_pct;
     cfg.insert_pct = f.preset->insert_pct;

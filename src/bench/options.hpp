@@ -114,6 +114,11 @@ struct CaseConfig {
   std::size_t value_size = 0;   // --value-size <bytes>: kv value payload
   std::size_t key_len = 0;      // --key-len <bytes>: kv key width (padded)
   unsigned kv_shards = 0;       // --shards <n>: KvStore shard count
+  // Container (queue/stack/deque) cases only: --split pins each worker to
+  // one role — even workers push, odd workers pop — instead of the
+  // per-op insert/delete roll.  Ignored (and absent from cell keys) for
+  // map/kv cases, so pre-v5 baselines keep diffing clean.
+  bool split_workload = false;
 };
 
 struct CaseResult {
@@ -144,12 +149,17 @@ struct CaseResult {
 //     <mode> <seconds> <keyrange> <runs> <read%> <ins%> <del%> <SCHEME>
 //     <threads>
 //
-// Modes: listlf listwf listhm tree hash skip skiphs.  Parsing is strict:
-// every numeric field must be a whole decimal number, the workload mix must
-// sum to 100, and seconds/keyrange/runs/threads must be positive.
+// Modes: listlf listwf listhm tree hash skip skiphs (maps) and queue stack
+// deque (containers).  Parsing is strict: every numeric field must be a
+// whole decimal number, the workload mix must sum to 100, and
+// seconds/keyrange/runs/threads must be positive.  Container modes have no
+// read operation, so <read%> must be 0 for them — <ins%> is the push share
+// and <del%> the pop share ("50 50" is the balanced mix); <keyrange>
+// doubles as the prefill size (keyrange/2 elements, like the maps).
 
 inline constexpr const char* kCliUsage =
-    "<listlf|listwf|listhm|tree|hash|skip|skiphs> <seconds> <keyrange> "
+    "<listlf|listwf|listhm|tree|hash|skip|skiphs|queue|stack|deque> "
+    "<seconds> <keyrange> "
     "<runs> <read%> <ins%> <del%> <NR|EBR|HP|HPopt|HE|IBR|HLN> <threads>";
 
 // Whole-string decimal parse; rejects "", " 42", "4x", "1.5", overflow.
@@ -208,6 +218,8 @@ struct BenchFlags {
                                        // default (kv binaries only)
   std::size_t key_len = 0;             // --key-len <bytes>; 0 = default
   unsigned kv_shards = 0;              // --shards <n>; 0 = binary's grid
+  bool split = false;                  // --split: producer/consumer roles
+                                       // (container binaries only)
   bool help = false;                   // --help seen; caller prints usage
 };
 
@@ -216,7 +228,8 @@ inline constexpr const char* kFlagUsage =
     "[--preset mixed|read-mostly|write-heavy|ycsb-a|ycsb-b|ycsb-c] [--pin] "
     "[--ops <n>] [--no-asym|--asym] [--bg|--no-bg] "
     "[--reclaim-interval-us <n>] [--memory-target <nodes>] "
-    "[--value-size <bytes>] [--key-len <bytes>] [--shards <n>] [--help]";
+    "[--value-size <bytes>] [--key-len <bytes>] [--shards <n>] [--split] "
+    "[--help]";
 
 // Removes the recognised --flags (and their values) from `args`, leaving
 // positional arguments in place.  Returns false with a one-line `error` on
@@ -254,6 +267,8 @@ inline bool extract_bench_flags(std::vector<std::string>& args,
       out.bg = true;
     } else if (a == "--no-bg") {  // explicit opt-out, for A/B scripting
       out.bg = false;
+    } else if (a == "--split") {
+      out.split = true;
     } else if (a == "--reclaim-interval-us") {
       const std::string* v = next_value();
       long long n = 0;
@@ -414,11 +429,26 @@ inline std::optional<CaseConfig> parse_cli(int argc, const char* const* argv,
   cfg.value_size = flags.value_size;
   cfg.key_len = flags.key_len;
   cfg.kv_shards = flags.kv_shards;
+  cfg.split_workload = flags.split;
   if (flags.preset) {
     cfg.read_pct = flags.preset->read_pct;
     cfg.insert_pct = flags.preset->insert_pct;
     cfg.delete_pct = flags.preset->delete_pct;
   }
+  // Container concepts have no read op; validate after the preset so
+  // "queue ... --preset mixed" fails loudly instead of silently dropping
+  // half the workload.  --split replaces the roll entirely, so it is only
+  // meaningful for container modes.
+  const ContainerKind kind = container_kind(cfg.structure);
+  const bool is_container = kind == ContainerKind::kQueue ||
+                            kind == ContainerKind::kStack ||
+                            kind == ContainerKind::kDeque;
+  if (is_container && cfg.read_pct != 0)
+    return fail(std::string("<read%> must be 0 for container mode '") +
+                container_kind_name(kind) +
+                "' (<ins%> is the push share, <del%> the pop share)");
+  if (!is_container && cfg.split_workload)
+    return fail("--split only applies to queue/stack/deque modes");
   return cfg;
 }
 

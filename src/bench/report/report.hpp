@@ -22,8 +22,10 @@ inline constexpr const char* kReportSchemaName = "scot-bench";
 // against new runs.  v4 adds the serving-layer cell fields
 // (value_size/key_len/shards; cell_key grows "|vs<n>"/"|kl<n>"/"|sh<n>"
 // suffixes only when non-zero) — again additive, so integer-keyed cells
-// keep their v3 keys byte-for-byte.
-inline constexpr int kReportSchemaVersion = 4;
+// keep their v3 keys byte-for-byte.  v5 adds the container-concept cell
+// field (split; cell_key grows a "|split" suffix only for split
+// producer/consumer runs), so map/kv cells keep their v4 keys.
+inline constexpr int kReportSchemaVersion = 5;
 
 struct ReportMeta {
   std::string schema = kReportSchemaName;

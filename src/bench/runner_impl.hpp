@@ -1,17 +1,28 @@
-// Generic benchmark loop.
+// Per-concept measured loops (one driver per ContainerKind).
 //
-// Protocol (paper §5): prefill the structure with unique keys covering 50%
-// of the key range, then run `threads` workers for `millis` ms applying the
-// read/insert/delete mix; report throughput, and (optionally) sample the
-// domain-wide count of retired-but-unreclaimed nodes every few milliseconds.
+// Protocol (paper §5): prefill the structure to 50% of the key range, then
+// run `threads` workers for `millis` ms applying the workload mix; report
+// throughput, and (optionally) sample the domain-wide count of
+// retired-but-unreclaimed nodes every few milliseconds.
 //
-// The measured loop (`run_one_map`) is written against a *map-like* value:
-// per-thread sessions (`map.session()` joining the domain's dynamic handle
-// registry) plus the pending/restart telemetry — exactly the surface of
-// scot::AnyMap.  Every binary — the figure grids, bench_cli, and the
-// trait-ablation binaries (whose variants are registered AnyMap cells since
-// the ablation StructureIds landed) — reaches it through the
-// registry-driven run_case() in bench/runner.cpp.
+// Driver contract.  Each driver is written against the *session surface* of
+// its concept's type-erased facade — per-thread sessions joining the
+// domain's dynamic handle registry, plus the pending/restarts/recoveries
+// telemetry — and nothing else, so any value with that surface benchmarks
+// identically (typed instantiations in ablation tests use the same loops):
+//   run_one_map        scot::AnyMap-shaped   read/insert/delete mix over a
+//                                            key range (uniform or Zipfian)
+//   run_one_container  scot::AnyContainer-   push/pop mix (<ins%>/<del%>;
+//   (run_one_queue/    shaped                reads are meaningless) or, with
+//    _stack/_deque)                          split_workload, even workers
+//                                            push and odd workers pop; deque
+//                                            ends are picked per-op by an
+//                                            RNG bit
+// All drivers share the harness machinery: go/stop barrier, per-worker RNG
+// streams seeded from (run_seed, t), stride-sampled latency histograms, the
+// 2 ms pending-nodes sampler, and median_of_runs.  Every binary reaches a
+// driver through the registry-driven run_case() in bench/runner.cpp, which
+// dispatches on container_kind(cfg.structure).
 #pragma once
 
 #include <algorithm>
@@ -224,6 +235,176 @@ CaseResult run_one_map(MapLike& map, const CaseConfig& cfg,
     r.p999_ns = static_cast<double>(merged.percentile(99.9));
   }
   return r;
+}
+
+// One measured run over a container-like value (scot::AnyContainer's
+// session surface; see the header comment).  `kind` picks the ends: queues
+// push at the back and pop at the front, stacks do both at the front,
+// deques pick the end per op with an RNG bit.  cfg.insert_pct is the push
+// share and cfg.delete_pct the pop share; with cfg.split_workload, even
+// workers are pure producers and odd workers pure consumers (a lone worker
+// falls back to the mixed roll so the case still terminates with ops > 0).
+template <class ContainerLike>
+CaseResult run_one_container(ContainerLike& c, ContainerKind kind,
+                             const CaseConfig& cfg, std::uint64_t run_seed) {
+  // --- parallel prefill: key_range/2 elements, like the maps ---
+  const std::uint64_t target = cfg.key_range / 2;
+  {
+    std::atomic<std::uint64_t> pushed{0};
+    std::vector<std::thread> ts;
+    for (unsigned t = 0; t < cfg.threads; ++t) {
+      ts.emplace_back([&, t] {
+        if (cfg.pin_threads) pin_this_thread(t);
+        auto session = c.session();
+        Xoshiro256 rng(run_seed * 0x51ed2701 + t);
+        while (pushed.fetch_add(1, std::memory_order_relaxed) < target) {
+          const std::uint64_t v = rng.next();
+          if (kind == ContainerKind::kStack) {
+            session.push_front(v);
+          } else {
+            session.push_back(v);
+          }
+        }
+      });
+    }
+    for (auto& t : ts) t.join();
+  }
+
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::uint64_t> ops(cfg.threads, 0);
+  std::vector<std::uint64_t> pushes(cfg.threads, 0);
+  std::vector<std::uint64_t> pops(cfg.threads, 0);
+  std::vector<obs::LatencyHistogram> latency(cfg.threads);
+  std::vector<std::thread> workers;
+  for (unsigned t = 0; t < cfg.threads; ++t) {
+    workers.emplace_back([&, t] {
+      if (cfg.pin_threads) pin_this_thread(t);
+      auto session = c.session();
+      Xoshiro256 rng(run_seed * 0x9e3779b9 + 1000003ULL * t);
+      obs::LatencyHistogram& hist = latency[t];
+      const unsigned lat_every = cfg.latency_sample_every;
+      const bool split = cfg.split_workload && cfg.threads > 1;
+      const bool producer = t % 2 == 0;
+      while (!go.load(std::memory_order_acquire)) cpu_relax();
+      std::uint64_t local = 0, npush = 0, npop = 0;
+      const std::uint64_t budget = cfg.op_budget;
+      for (;;) {
+        if (budget != 0) {
+          if (local >= budget) break;
+        } else if (stop.load(std::memory_order_relaxed)) {
+          break;
+        }
+        const std::uint64_t draw = rng.next();
+        const bool push =
+            split ? producer
+                  : static_cast<int>(draw % 100) < cfg.insert_pct;
+        // For deques the low bit above decides the *mix*; use a different
+        // bit for the end so the two choices stay uncorrelated.
+        const bool back = (draw >> 32) & 1;
+        const bool timed_op = lat_every != 0 && local % lat_every == 0;
+        const std::uint64_t op_t0 = timed_op ? now_ns() : 0;
+        if (push) {
+          const std::uint64_t v = draw ^ (local << 1);
+          switch (kind) {
+            case ContainerKind::kQueue: session.push_back(v); break;
+            case ContainerKind::kStack: session.push_front(v); break;
+            default:
+              if (back) {
+                session.push_back(v);
+              } else {
+                session.push_front(v);
+              }
+              break;
+          }
+          ++npush;
+        } else {
+          if (kind == ContainerKind::kDeque && back) {
+            session.pop_back();
+          } else {
+            session.pop_front();
+          }
+          ++npop;
+        }
+        if (timed_op) hist.record(now_ns() - op_t0);
+        ++local;
+      }
+      ops[t] = local;
+      pushes[t] = npush;
+      pops[t] = npop;
+    });
+  }
+
+  // Memory-overhead sampler, same cadence as the map driver.
+  std::atomic<bool> sampler_stop{false};
+  double pending_sum = 0;
+  std::uint64_t pending_samples = 0;
+  std::int64_t pending_peak = 0;
+  std::thread sampler;
+  if (cfg.sample_memory) {
+    sampler = std::thread([&] {
+      while (!sampler_stop.load(std::memory_order_relaxed)) {
+        const std::int64_t p = c.pending_nodes();
+        pending_sum += static_cast<double>(p);
+        ++pending_samples;
+        pending_peak = std::max(pending_peak, p);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  const std::uint64_t t0 = now_ns();
+  go.store(true, std::memory_order_release);
+  if (cfg.op_budget == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg.millis));
+    stop.store(true, std::memory_order_relaxed);
+  }
+  for (auto& w : workers) w.join();
+  const std::uint64_t t1 = now_ns();
+  if (cfg.sample_memory) {
+    sampler_stop.store(true, std::memory_order_relaxed);
+    sampler.join();
+  }
+
+  CaseResult r;
+  r.seconds = ns_to_sec(t1 - t0);
+  for (const auto o : ops) r.total_ops += o;
+  for (const auto o : pushes) r.inserts += o;  // pushes report as inserts
+  for (const auto o : pops) r.removes += o;    // pops as removes; no reads
+  r.mops = static_cast<double>(r.total_ops) / r.seconds / 1e6;
+  if (r.total_ops > 0)
+    r.ns_per_op = r.seconds * 1e9 / static_cast<double>(r.total_ops);
+  if (pending_samples > 0)
+    r.avg_pending = pending_sum / static_cast<double>(pending_samples);
+  r.peak_pending = pending_peak;
+  r.restarts = c.restarts();
+  r.recoveries = c.recoveries();
+  obs::LatencyHistogram merged;
+  for (const auto& h : latency) merged.merge(h);
+  if (merged.count() > 0) {
+    r.p50_ns = static_cast<double>(merged.percentile(50.0));
+    r.p99_ns = static_cast<double>(merged.percentile(99.0));
+    r.p999_ns = static_cast<double>(merged.percentile(99.9));
+  }
+  return r;
+}
+
+// Named per-concept entry points (the driver contract names from the header
+// comment); each fixes the end discipline for its kind.
+template <class ContainerLike>
+CaseResult run_one_queue(ContainerLike& c, const CaseConfig& cfg,
+                         std::uint64_t run_seed) {
+  return run_one_container(c, ContainerKind::kQueue, cfg, run_seed);
+}
+template <class ContainerLike>
+CaseResult run_one_stack(ContainerLike& c, const CaseConfig& cfg,
+                         std::uint64_t run_seed) {
+  return run_one_container(c, ContainerKind::kStack, cfg, run_seed);
+}
+template <class ContainerLike>
+CaseResult run_one_deque(ContainerLike& c, const CaseConfig& cfg,
+                         std::uint64_t run_seed) {
+  return run_one_container(c, ContainerKind::kDeque, cfg, run_seed);
 }
 
 // Median of cfg.runs fresh runs.

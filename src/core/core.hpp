@@ -1,12 +1,15 @@
 // Umbrella header for the SCOT data structures.
 #pragma once
 
+#include "core/deque.hpp"
 #include "core/harris_list.hpp"
 #include "core/harris_michael_list.hpp"
 #include "core/hash_map.hpp"
 #include "core/marked_ptr.hpp"
+#include "core/ms_queue.hpp"
 #include "core/nm_tree.hpp"
 #include "core/registry.hpp"
 #include "core/skip_list.hpp"
+#include "core/treiber_stack.hpp"
 #include "core/wait_free.hpp"
 #include "smr/smr.hpp"

@@ -10,6 +10,9 @@
 //     core/registry.hpp),
 //   * the type-erased scot::AnyMap facade with runtime scheme and
 //     structure selection (core/any_map.hpp; link the `scot_any` library),
+//   * the container concepts — scot::AnyQueue / AnyStack / AnyDeque over
+//     MSQueue, TreiberStack, and the Michael deque
+//     (core/any_container.hpp; link the `scot_any` library),
 //   * the string-keyed serving layer — scot::AnyKv shards and the sharded
 //     scot::KvStore (kv/; link the `scot_kv` library).
 //
@@ -34,6 +37,7 @@
 // registry extension recipe.
 #pragma once
 
+#include "core/any_container.hpp"
 #include "core/any_map.hpp"
 #include "core/core.hpp"
 #include "core/registry.hpp"

@@ -59,8 +59,41 @@ TEST(Options, StructureModesResolve) {
   EXPECT_EQ(structure_from_mode("hash"), StructureId::kHashMap);
   EXPECT_EQ(structure_from_mode("skip"), StructureId::kSkipList);
   EXPECT_EQ(structure_from_mode("skiphs"), StructureId::kSkipListEager);
-  EXPECT_FALSE(structure_from_mode("queue").has_value());
+  EXPECT_EQ(structure_from_mode("queue"), StructureId::kMSQueue);
+  EXPECT_EQ(structure_from_mode("stack"), StructureId::kTreiberStack);
+  EXPECT_EQ(structure_from_mode("deque"), StructureId::kDeque);
+  EXPECT_FALSE(structure_from_mode("ring").has_value());
   EXPECT_FALSE(structure_from_mode("").has_value());
+}
+
+TEST(Options, ContainerKindPartitionsTheStructureIds) {
+  using scot::ContainerKind;
+  using scot::container_kind;
+  // Every map-grid structure is map-kind; the other concepts each own
+  // their table; kNone stands alone.  The bench runner and the facade
+  // make() checks dispatch on exactly this partition.
+  for (StructureId s : kAllStructures)
+    EXPECT_EQ(container_kind(s), ContainerKind::kMap) << structure_name(s);
+  for (StructureId s : scot::kAblationStructures)
+    EXPECT_EQ(container_kind(s), ContainerKind::kMap) << structure_name(s);
+  for (StructureId s : scot::kKvStructures)
+    EXPECT_EQ(container_kind(s), ContainerKind::kKv) << structure_name(s);
+  EXPECT_EQ(container_kind(StructureId::kMSQueue), ContainerKind::kQueue);
+  EXPECT_EQ(container_kind(StructureId::kTreiberStack), ContainerKind::kStack);
+  EXPECT_EQ(container_kind(StructureId::kDeque), ContainerKind::kDeque);
+  EXPECT_EQ(container_kind(StructureId::kNone), ContainerKind::kNone);
+  EXPECT_STREQ(scot::container_kind_name(ContainerKind::kQueue), "queue");
+  EXPECT_STREQ(scot::container_kind_name(ContainerKind::kStack), "stack");
+  EXPECT_STREQ(scot::container_kind_name(ContainerKind::kDeque), "deque");
+}
+
+TEST(Options, ContainerStructuresResolveButStayOutOfMapGrids) {
+  for (StructureId c : scot::kContainerStructures) {
+    const auto back = structure_from_name(structure_name(c));
+    ASSERT_TRUE(back.has_value()) << structure_name(c);
+    EXPECT_EQ(*back, c);
+    for (StructureId s : kAllStructures) EXPECT_NE(s, c);
+  }
 }
 
 TEST(Options, NameTablesAreTheRuntimeRegistries) {
@@ -140,7 +173,7 @@ TEST(Options, ParseCliRejectsWrongArity) {
 
 TEST(Options, ParseCliRejectsUnknownModeAndScheme) {
   auto bad_mode = kGoodArgs;
-  bad_mode[0] = "deque";
+  bad_mode[0] = "ring";
   std::string error;
   EXPECT_FALSE(parse(bad_mode, &error).has_value());
   EXPECT_NE(error.find("unknown mode"), std::string::npos) << error;
@@ -196,6 +229,59 @@ TEST(Options, ParseCliRejectsMixNotSummingTo100) {
   args[5] = "5";
   args[6] = "5";
   EXPECT_TRUE(parse(args).has_value());
+}
+
+// --- container modes (queue/stack/deque) ----------------------------------
+
+TEST(Options, ParseCliAcceptsContainerModesWithPushPopMix) {
+  for (const char* mode : {"queue", "stack", "deque"}) {
+    auto args = kGoodArgs;
+    args[0] = mode;
+    args[4] = "0";   // no read op
+    args[5] = "50";  // push share
+    args[6] = "50";  // pop share
+    std::string error;
+    const auto cfg = parse(args, &error);
+    ASSERT_TRUE(cfg.has_value()) << mode << ": " << error;
+    EXPECT_EQ(cfg->read_pct, 0);
+    EXPECT_EQ(cfg->insert_pct, 50);
+    EXPECT_EQ(cfg->delete_pct, 50);
+    EXPECT_FALSE(cfg->split_workload) << "mixed is the default";
+  }
+}
+
+TEST(Options, ParseCliRejectsReadsForContainerModes) {
+  for (const char* mode : {"queue", "stack", "deque"}) {
+    auto args = kGoodArgs;  // 50/25/25 — reads in a readless concept
+    args[0] = mode;
+    std::string error;
+    EXPECT_FALSE(parse(args, &error).has_value()) << mode;
+    EXPECT_NE(error.find("<read%> must be 0"), std::string::npos) << error;
+  }
+  // The check runs after preset application, so a read-bearing preset on a
+  // container mode fails loudly too.
+  std::vector<const char*> preset_args = {"queue", "2",  "512", "1", "0",
+                                          "50",    "50", "EBR", "4",
+                                          "--preset", "mixed"};
+  std::string error;
+  EXPECT_FALSE(parse(preset_args, &error).has_value());
+  EXPECT_NE(error.find("<read%> must be 0"), std::string::npos) << error;
+}
+
+TEST(Options, SplitFlagPlumbsIntoContainerConfig) {
+  std::vector<const char*> args = {"queue", "2",  "512", "1", "0",
+                                   "50",    "50", "EBR", "4", "--split"};
+  const auto cfg = parse(args);
+  ASSERT_TRUE(cfg.has_value());
+  EXPECT_TRUE(cfg->split_workload);
+}
+
+TEST(Options, SplitFlagIsRejectedForMapModes) {
+  auto args = kGoodArgs;
+  args.push_back("--split");
+  std::string error;
+  EXPECT_FALSE(parse(args, &error).has_value());
+  EXPECT_NE(error.find("--split"), std::string::npos) << error;
 }
 
 // --- optional flag layer (--seed/--json/--dist/...) -----------------------
